@@ -1,0 +1,134 @@
+// Command fim mines closed (or all / maximal) frequent item sets from a
+// transaction database file in FIMI format (one transaction per line,
+// whitespace-separated items).
+//
+// Usage:
+//
+//	fim -algo ista -support 8 data.dat            # closed sets to stdout
+//	fim -algo carpenter-table -support 0.05 data.dat   # relative support
+//	fim -target all -support 10 -out out.txt data.dat
+//
+// Output lines follow Borgelt's format: the items of the set separated by
+// spaces, followed by the absolute support in parentheses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	fim "repro"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "ista", "algorithm: ista | carpenter-table | carpenter-lists | cobbler | fpclose | lcm | eclat | sam | flat")
+		target  = flag.String("target", "closed", "target: closed | all | maximal")
+		support = flag.Float64("support", 2, "minimum support: absolute if >= 1, else a fraction of the transactions")
+		out     = flag.String("out", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "print workload statistics and timing to stderr")
+		timeout = flag.Duration("timeout", 0, "optional wall-clock limit")
+
+		expr      = flag.Bool("expr", false, "input is a gene expression matrix (CSV/TSV of log ratios), discretized per the paper's §4")
+		threshold = flag.Float64("threshold", 0.2, "with -expr: |log ratio| above this is over-/under-expressed")
+		orient    = flag.String("orient", "conditions", "with -expr: conditions | genes — what becomes the transactions")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fim [flags] <database.dat | matrix.csv>")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var db *fim.Database
+	var err error
+	if *expr {
+		db, err = loadExpression(flag.Arg(0), *threshold, *orient)
+	} else {
+		db, err = fim.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fail(err)
+	}
+	minsup := int(*support)
+	if *support > 0 && *support < 1 {
+		minsup = int(math.Ceil(*support * float64(len(db.Trans))))
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "fim: workload %s, minsup %d\n", db.Stats(), minsup)
+	}
+
+	var done chan struct{}
+	if *timeout > 0 {
+		done = make(chan struct{})
+		time.AfterFunc(*timeout, func() { close(done) })
+	}
+
+	start := time.Now()
+	var patterns *fim.ResultSet
+	switch *target {
+	case "closed":
+		var set fim.ResultSet
+		err = fim.Mine(db, fim.Options{
+			MinSupport: minsup,
+			Algorithm:  fim.Algorithm(*algo),
+			Done:       done,
+		}, set.Collect())
+		patterns = &set
+	case "all":
+		patterns, err = fim.MineAll(db, minsup)
+	case "maximal":
+		patterns, err = fim.MineMaximal(db, minsup)
+	default:
+		fail(fmt.Errorf("unknown target %q", *target))
+	}
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := patterns.Write(w, db.Names); err != nil {
+		fail(err)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "fim: %d %s sets in %s\n", patterns.Len(), *target, elapsed.Round(time.Millisecond))
+	}
+}
+
+// loadExpression runs the paper's §4 pipeline: parse a log-ratio matrix
+// and discretize it into over-/under-expression items (code 2x = "x
+// over-expressed", 2x+1 = "x under-expressed").
+func loadExpression(path string, threshold float64, orient string) (*fim.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := fim.ReadMatrixCSV(f)
+	if err != nil {
+		return nil, err
+	}
+	switch orient {
+	case "conditions":
+		return fim.Discretize(m, threshold, threshold, fim.ConditionsAsTransactions), nil
+	case "genes":
+		return fim.Discretize(m, threshold, threshold, fim.GenesAsTransactions), nil
+	}
+	return nil, fmt.Errorf("unknown orientation %q (want conditions or genes)", orient)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fim:", err)
+	os.Exit(1)
+}

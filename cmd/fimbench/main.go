@@ -1,0 +1,66 @@
+// Command fimbench regenerates the paper's evaluation artifacts (Figures
+// 5–8, Table 1, and the §3/§5 ablations) on synthetic stand-in workloads.
+//
+// Usage:
+//
+//	fimbench -list
+//	fimbench -exp fig5 [-scale 0.1] [-seed 1] [-timeout 20s]
+//	fimbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		scale   = flag.Float64("scale", 0, "workload scale factor (0 = experiment default)")
+		seed    = flag.Int64("seed", 0, "workload seed (0 = experiment default)")
+		timeout = flag.Duration("timeout", 0, "per-run timeout (0 = experiment default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-8s  %s\n          paper: %s\n", e.ID, e.Title, e.Notes)
+		}
+		return
+	}
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Timeout: *timeout}
+	run := func(e bench.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("paper's reported shape: %s\n\n", e.Notes)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "fimbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	switch {
+	case *all:
+		for _, e := range bench.Registry() {
+			run(e)
+		}
+	case *exp != "":
+		e, ok := bench.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fimbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

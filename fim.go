@@ -1,0 +1,262 @@
+// Package fim is the public API of this repository: closed frequent item
+// set mining by intersecting transactions, reproducing
+//
+//	C. Borgelt, X. Yang, R. Nogales-Cadenas, P. Carmona-Sáez,
+//	A. Pascual-Montano: "Finding Closed Frequent Item Sets by
+//	Intersecting Transactions", EDBT 2011.
+//
+// The package exposes the paper's two intersection algorithms — IsTa
+// (cumulative intersection with a prefix tree repository) and Carpenter
+// (transaction set enumeration, list- and table-based) — together with
+// the enumeration baselines the paper compares against (FP-growth /
+// FP-close, LCM, Eclat, Apriori), the flat cumulative baseline, synthetic
+// workload generators shaped like the paper's data sets, and association
+// rule induction from closed item sets.
+//
+// Quick start:
+//
+//	db := fim.NewDatabase([][]int{{0, 1, 2}, {0, 2}, {1, 2}})
+//	patterns, err := fim.MineClosed(db, 2) // IsTa, minimum support 2
+//
+// All mining functions report absolute supports and accept any database
+// produced by NewDatabase, ReadFile or the generators. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for the reproduced evaluation.
+package fim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apriori"
+	"repro/internal/carpenter"
+	"repro/internal/cobbler"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eclat"
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/lcm"
+	"repro/internal/naive"
+	"repro/internal/result"
+	"repro/internal/rules"
+	"repro/internal/sam"
+)
+
+// Re-exported core types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Item is an item code.
+	Item = itemset.Item
+	// ItemSet is a canonical (strictly ascending) set of item codes.
+	ItemSet = itemset.Set
+	// Database is a transaction database.
+	Database = dataset.Database
+	// Pattern is a mined item set with its absolute support.
+	Pattern = result.Pattern
+	// ResultSet is a collected, comparable set of patterns.
+	ResultSet = result.Set
+	// Reporter receives patterns as they are mined.
+	Reporter = result.Reporter
+	// ReporterFunc adapts a function to Reporter.
+	ReporterFunc = result.ReporterFunc
+	// Rule is an association rule derived from closed item sets.
+	Rule = rules.Rule
+)
+
+// Algorithm names a mining algorithm.
+type Algorithm string
+
+// The available algorithms. IsTa is the paper's primary contribution and
+// the default.
+const (
+	IsTa           Algorithm = "ista"            // §3.2-3.4: cumulative intersection, prefix tree
+	CarpenterTable Algorithm = "carpenter-table" // §3.1.2: transaction set enumeration, matrix
+	CarpenterLists Algorithm = "carpenter-lists" // §3.1.1: transaction set enumeration, tid lists
+	FPClose        Algorithm = "fpclose"         // FP-growth, closed output (Grahne & Zhu)
+	LCM            Algorithm = "lcm"             // ppc-extension closed miner (Uno et al.)
+	EclatClosed    Algorithm = "eclat"           // Eclat with closed output (Zaki et al.)
+	Cobbler        Algorithm = "cobbler"         // combined column/row enumeration (Pan et al.)
+	SaM            Algorithm = "sam"             // split-and-merge (Borgelt & Wang), closed via filter
+	FlatCumulative Algorithm = "flat"            // Mielikäinen's flat cumulative scheme
+)
+
+// Algorithms lists the closed-set mining algorithms in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{IsTa, CarpenterTable, CarpenterLists, Cobbler, FPClose, LCM, EclatClosed, SaM, FlatCumulative}
+}
+
+// Options configures Mine.
+type Options struct {
+	// MinSupport is the absolute minimum support (number of
+	// transactions); values below 1 act as 1.
+	MinSupport int
+	// Algorithm selects the miner; empty selects IsTa.
+	Algorithm Algorithm
+	// Done, when closed, cancels the run; Mine returns an error and the
+	// already reported patterns form an incomplete prefix of the result.
+	Done <-chan struct{}
+}
+
+// Mine streams the closed frequent item sets of db into rep using the
+// selected algorithm. All algorithms produce the identical pattern set
+// (the test suite cross-checks them); they differ in performance
+// characteristics — see DESIGN.md and the fimbench tool.
+func Mine(db *Database, opts Options, rep Reporter) error {
+	switch opts.Algorithm {
+	case IsTa, "":
+		return core.Mine(db, core.Options{MinSupport: opts.MinSupport, Done: opts.Done}, rep)
+	case CarpenterTable:
+		return carpenter.Mine(db, carpenter.Options{
+			MinSupport: opts.MinSupport, Variant: carpenter.Table, Done: opts.Done,
+		}, rep)
+	case CarpenterLists:
+		return carpenter.Mine(db, carpenter.Options{
+			MinSupport: opts.MinSupport, Variant: carpenter.Lists, Done: opts.Done,
+		}, rep)
+	case FPClose:
+		return fpgrowth.Mine(db, fpgrowth.Options{
+			MinSupport: opts.MinSupport, Target: fpgrowth.Closed, Done: opts.Done,
+		}, rep)
+	case LCM:
+		return lcm.Mine(db, lcm.Options{MinSupport: opts.MinSupport, Done: opts.Done}, rep)
+	case EclatClosed:
+		return eclat.Mine(db, eclat.Options{
+			MinSupport: opts.MinSupport, Target: eclat.Closed, Done: opts.Done,
+		}, rep)
+	case Cobbler:
+		return cobbler.Mine(db, cobbler.Options{
+			MinSupport: opts.MinSupport, Done: opts.Done,
+		}, rep)
+	case SaM:
+		return sam.Mine(db, sam.Options{
+			MinSupport: opts.MinSupport, Target: sam.Closed, Done: opts.Done,
+		}, rep)
+	case FlatCumulative:
+		return naive.FlatCumulative(db, naive.FlatOptions{
+			MinSupport: opts.MinSupport, Done: opts.Done,
+		}, rep)
+	}
+	return fmt.Errorf("fim: unknown algorithm %q", opts.Algorithm)
+}
+
+// MineClosed mines the closed frequent item sets of db with IsTa and
+// returns them in canonical order.
+func MineClosed(db *Database, minSupport int) (*ResultSet, error) {
+	var out ResultSet
+	if err := Mine(db, Options{MinSupport: minSupport}, out.Collect()); err != nil {
+		return nil, err
+	}
+	out.Sort()
+	return &out, nil
+}
+
+// MineAll mines every frequent item set (not only closed ones) with
+// FP-growth and returns them in canonical order. The output can be
+// exponentially larger than MineClosed's (§2.3 of the paper).
+func MineAll(db *Database, minSupport int) (*ResultSet, error) {
+	var out ResultSet
+	err := fpgrowth.Mine(db, fpgrowth.Options{MinSupport: minSupport, Target: fpgrowth.All}, out.Collect())
+	if err != nil {
+		return nil, err
+	}
+	out.Sort()
+	return &out, nil
+}
+
+// MineMaximal mines the maximal frequent item sets (closed sets without a
+// frequent proper superset) and returns them in canonical order.
+func MineMaximal(db *Database, minSupport int) (*ResultSet, error) {
+	var out ResultSet
+	err := eclat.Mine(db, eclat.Options{MinSupport: minSupport, Target: eclat.Maximal}, out.Collect())
+	if err != nil {
+		return nil, err
+	}
+	out.Sort()
+	return &out, nil
+}
+
+// MineApriori mines every frequent item set with the classic level-wise
+// Apriori algorithm. It exists mainly for didactic comparison; prefer
+// MineAll for real use.
+func MineApriori(db *Database, minSupport int) (*ResultSet, error) {
+	var out ResultSet
+	err := apriori.Mine(db, apriori.Options{MinSupport: minSupport, Target: apriori.All}, out.Collect())
+	if err != nil {
+		return nil, err
+	}
+	out.Sort()
+	return &out, nil
+}
+
+// NewDatabase builds a database from rows of item codes. Rows are
+// canonicalized (sorted, duplicates dropped); the item universe is the
+// smallest one containing every item.
+func NewDatabase(rows [][]int) *Database {
+	trans := make([]ItemSet, len(rows))
+	for i, r := range rows {
+		trans[i] = itemset.FromInts(r...)
+	}
+	return dataset.New(trans, 0)
+}
+
+// NewItemSet builds a canonical item set from item codes.
+func NewItemSet(items ...int) ItemSet { return itemset.FromInts(items...) }
+
+// ReadFile loads a transaction database in FIMI format (one transaction
+// per line, whitespace-separated items — numeric codes or names).
+func ReadFile(path string) (*Database, error) { return dataset.ReadFile(path) }
+
+// WriteFile stores a database in FIMI format.
+func WriteFile(path string, db *Database) error { return dataset.WriteFile(path, db) }
+
+// Read parses a FIMI-format database from r.
+func Read(r io.Reader) (*Database, error) { return dataset.Read(r) }
+
+// Write renders db in FIMI format to w.
+func Write(w io.Writer, db *Database) error { return dataset.Write(w, db) }
+
+// Transpose exchanges the roles of items and transactions (§4 of the
+// paper: the gene-expression duality).
+func Transpose(db *Database) *Database { return db.Transpose() }
+
+// Support counts the transactions of db containing items.
+func Support(db *Database, items ItemSet) int { return result.Support(db, items) }
+
+// IsClosed reports whether items equals the intersection of all
+// transactions of db containing it (§2.4).
+func IsClosed(db *Database, items ItemSet) bool { return result.IsClosed(db, items) }
+
+// IncrementalMiner is an online closed item set miner: transactions are
+// added one at a time (e.g. as they arrive on a stream) and the closed
+// frequent item sets of everything seen so far can be queried at any
+// moment, at any support threshold. It is a direct consequence of the
+// paper's cumulative intersection scheme (§3.2); see
+// internal/core.Incremental for the trade-offs against batch mining.
+type IncrementalMiner = core.Incremental
+
+// NewIncrementalMiner returns an online miner over item codes
+// 0..items-1.
+func NewIncrementalMiner(items int) *IncrementalMiner {
+	return core.NewIncremental(items)
+}
+
+// RuleOptions configures association rule induction.
+type RuleOptions = rules.Options
+
+// Rules induces association rules from closed frequent patterns (closed
+// sets preserve all support information, §2.3). total is the number of
+// transactions in the mined database.
+func Rules(closed *ResultSet, total int, opts RuleOptions) []Rule {
+	return rules.FromClosed(closed, total, opts)
+}
+
+// SupportIndex answers support queries for arbitrary item sets from a
+// mined closed collection: the support of any frequent item set is the
+// maximum support of the closed sets containing it (§2.3).
+type SupportIndex = rules.Index
+
+// NewSupportIndex builds a support index over closed patterns mined from
+// a database with total transactions.
+func NewSupportIndex(closed *ResultSet, total int) *SupportIndex {
+	return rules.NewIndex(closed, total)
+}

@@ -1,0 +1,155 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/naive"
+	"repro/internal/result"
+)
+
+func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
+	trans := make([]itemset.Set, n)
+	for k := range trans {
+		var t itemset.Set
+		for i := 0; i < items; i++ {
+			if rng.Float64() < density {
+				t = append(t, itemset.Item(i))
+			}
+		}
+		trans[k] = t
+	}
+	return dataset.New(trans, items)
+}
+
+func bruteAllFrequent(db *dataset.Database, minsup int) *result.Set {
+	var out result.Set
+	items := make(itemset.Set, 0, db.Items)
+	for mask := 1; mask < 1<<uint(db.Items); mask++ {
+		items = items[:0]
+		for i := 0; i < db.Items; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				items = append(items, itemset.Item(i))
+			}
+		}
+		if supp := result.Support(db, items); supp >= minsup {
+			out.Add(items, supp)
+		}
+	}
+	return &out
+}
+
+func TestAllMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 60; trial++ {
+		items := 2 + rng.Intn(7)
+		n := 1 + rng.Intn(10)
+		db := randDB(rng, items, n, 0.2+rng.Float64()*0.5)
+		for _, minsup := range []int{1, 2} {
+			want := bruteAllFrequent(db, minsup)
+			var got result.Set
+			if err := Mine(db, Options{MinSupport: minsup, Target: All}, got.Collect()); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("apriori(all) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+func TestClosedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	for trial := 0; trial < 80; trial++ {
+		items := 2 + rng.Intn(8)
+		n := 1 + rng.Intn(12)
+		db := randDB(rng, items, n, 0.15+rng.Float64()*0.5)
+		for _, minsup := range []int{1, 2, 3} {
+			want, err := naive.ClosedByTransactionSubsets(db, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got result.Set
+			if err := Mine(db, Options{MinSupport: minsup, Target: Closed}, got.Collect()); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("apriori(closed) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	for trial := 0; trial < 40; trial++ {
+		db := randDB(rng, 2+rng.Intn(7), 1+rng.Intn(10), 0.2+rng.Float64()*0.5)
+		minsup := 1 + rng.Intn(3)
+		closed, err := naive.ClosedByTransactionSubsets(db, minsup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := result.FilterMaximal(closed)
+		var got result.Set
+		if err := Mine(db, Options{MinSupport: minsup, Target: Maximal}, got.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("apriori(maximal) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+		}
+	}
+}
+
+func TestEdgeCasesAndCancel(t *testing.T) {
+	var got result.Set
+	if err := Mine(&dataset.Database{Items: 2}, Options{MinSupport: 1}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatal("empty db")
+	}
+
+	bad := &dataset.Database{Items: 1, Trans: []itemset.Set{{3}}}
+	if err := Mine(bad, Options{MinSupport: 1}, &result.Counter{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+
+	done := make(chan struct{})
+	close(done)
+	db := randDB(rand.New(rand.NewSource(13)), 30, 60, 0.5)
+	err := Mine(db, Options{MinSupport: 2, Done: done}, &result.Counter{})
+	if err != mining.ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if !samePrefix(itemset.FromInts(1, 2, 5), itemset.FromInts(1, 2, 7)) {
+		t.Error("samePrefix false negative")
+	}
+	if samePrefix(itemset.FromInts(1, 3, 5), itemset.FromInts(1, 2, 7)) {
+		t.Error("samePrefix false positive")
+	}
+	if samePrefix(itemset.FromInts(1), itemset.FromInts(1, 2)) {
+		t.Error("different lengths never share a join prefix")
+	}
+
+	freq := map[string]bool{
+		itemset.FromInts(1, 2).Key(): true,
+		itemset.FromInts(1, 3).Key(): true,
+		itemset.FromInts(2, 3).Key(): true,
+	}
+	if !allSubsetsFrequent(itemset.FromInts(1, 2, 3), freq) {
+		t.Error("all subsets are frequent")
+	}
+	delete(freq, itemset.FromInts(2, 3).Key())
+	if allSubsetsFrequent(itemset.FromInts(1, 2, 3), freq) {
+		t.Error("missing subset must fail the prune")
+	}
+	if !allSubsetsFrequent(itemset.FromInts(1, 2), freq) {
+		t.Error("pairs always pass")
+	}
+}

@@ -1,0 +1,168 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (Figures 5–8, Table 1, and the ablations discussed in §3 and
+// §5). Every experiment pairs a deterministic synthetic workload (package
+// gendata) with a minimum-support sweep over a fixed set of algorithms,
+// measures wall-clock time per point with a per-run timeout (the paper's
+// curves are likewise cut off where a program exceeds the time frame), and
+// cross-checks that all algorithms that finished report the same number of
+// closed sets.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/carpenter"
+	"repro/internal/cobbler"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eclat"
+	"repro/internal/fpgrowth"
+	"repro/internal/lcm"
+	"repro/internal/mining"
+	"repro/internal/naive"
+	"repro/internal/result"
+	"repro/internal/sam"
+)
+
+// Algo is one mining algorithm under test.
+type Algo struct {
+	// Name is the short column label ("ista", "carp-table", ...).
+	Name string
+	// Run mines db at minsup, reporting into rep; done cancels.
+	Run func(db *dataset.Database, minsup int, done <-chan struct{}, rep result.Reporter) error
+}
+
+// Algorithms returns the algorithm registry keyed by name.
+func Algorithms() map[string]Algo {
+	algos := []Algo{
+		{"ista", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return core.Mine(db, core.Options{MinSupport: ms, Done: done}, rep)
+		}},
+		{"ista-noprune", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return core.Mine(db, core.Options{MinSupport: ms, Done: done, DisablePruning: true}, rep)
+		}},
+		{"carp-table", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, Done: done}, rep)
+		}},
+		{"carp-lists", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Lists, Done: done}, rep)
+		}},
+		{"carp-table-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, DisableElimination: true, Done: done}, rep)
+		}},
+		{"carp-lists-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Lists, DisableElimination: true, Done: done}, rep)
+		}},
+		{"carp-table-hash", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, HashRepository: true, Done: done}, rep)
+		}},
+		{"fpclose", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return fpgrowth.Mine(db, fpgrowth.Options{MinSupport: ms, Target: fpgrowth.Closed, Done: done}, rep)
+		}},
+		{"lcm", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return lcm.Mine(db, lcm.Options{MinSupport: ms, Done: done}, rep)
+		}},
+		{"eclat-closed", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return eclat.Mine(db, eclat.Options{MinSupport: ms, Target: eclat.Closed, Done: done}, rep)
+		}},
+		{"cobbler", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return cobbler.Mine(db, cobbler.Options{MinSupport: ms, Done: done}, rep)
+		}},
+		{"sam", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return sam.Mine(db, sam.Options{MinSupport: ms, Target: sam.Closed, Done: done}, rep)
+		}},
+		{"flat", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+			return naive.FlatCumulative(db, naive.FlatOptions{MinSupport: ms, Done: done}, rep)
+		}},
+	}
+	m := make(map[string]Algo, len(algos))
+	for _, a := range algos {
+		m[a.Name] = a
+	}
+	return m
+}
+
+// Cell is one (algorithm, minsup) measurement.
+type Cell struct {
+	Time     time.Duration
+	Closed   int
+	TimedOut bool
+	Skipped  bool // earlier timeout at a higher support level
+	Err      error
+}
+
+// Row is one support level of a sweep.
+type Row struct {
+	MinSupport int
+	Cells      map[string]Cell
+	// Closed is the agreed number of closed sets (-1 if no algorithm
+	// finished at this level).
+	Closed int
+}
+
+// RunOne measures one algorithm on one workload at one support level.
+func RunOne(a Algo, db *dataset.Database, minsup int, timeout time.Duration) Cell {
+	done := make(chan struct{})
+	var timer *time.Timer
+	if timeout > 0 {
+		timer = time.AfterFunc(timeout, func() { close(done) })
+	}
+	var counter result.Counter
+	start := time.Now()
+	err := a.Run(db, minsup, done, &counter)
+	elapsed := time.Since(start)
+	if timer != nil {
+		timer.Stop()
+	}
+	cell := Cell{Time: elapsed, Closed: counter.N}
+	switch {
+	case err == mining.ErrCanceled:
+		cell.TimedOut = true
+	case err != nil:
+		cell.Err = err
+	}
+	return cell
+}
+
+// Sweep runs every named algorithm across the support levels (given from
+// high to low, like the paper's plots read right to left). An algorithm
+// that times out at some level is skipped for all lower levels, since the
+// workload only grows as the support drops. Finished algorithms must agree
+// on the number of closed sets; a mismatch is returned as an error because
+// it would mean one of the miners is wrong.
+func Sweep(db *dataset.Database, supports []int, algoNames []string, timeout time.Duration) ([]Row, error) {
+	registry := Algorithms()
+	dead := map[string]bool{}
+	rows := make([]Row, 0, len(supports))
+	for _, ms := range supports {
+		row := Row{MinSupport: ms, Cells: map[string]Cell{}, Closed: -1}
+		for _, name := range algoNames {
+			a, ok := registry[name]
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown algorithm %q", name)
+			}
+			if dead[name] {
+				row.Cells[name] = Cell{Skipped: true}
+				continue
+			}
+			cell := RunOne(a, db, ms, timeout)
+			if cell.Err != nil {
+				return nil, fmt.Errorf("bench: %s at minsup %d: %w", name, ms, cell.Err)
+			}
+			if cell.TimedOut {
+				dead[name] = true
+			} else {
+				if row.Closed == -1 {
+					row.Closed = cell.Closed
+				} else if row.Closed != cell.Closed {
+					return nil, fmt.Errorf("bench: result mismatch at minsup %d: %s found %d closed sets, others %d",
+						ms, name, cell.Closed, row.Closed)
+				}
+			}
+			row.Cells[name] = cell
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

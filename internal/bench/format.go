@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// WriteTable renders sweep rows as an aligned text table in the spirit of
+// the paper's figures: one row per minimum support, one time column per
+// algorithm, and the agreed closed-set count. Cells show seconds; "t/o"
+// marks a timeout and "-" a level skipped after an earlier timeout.
+func WriteTable(w io.Writer, title string, stats dataset.Stats, algoNames []string, rows []Row) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "workload: %s\n\n", stats)
+
+	cols := []string{"minsup"}
+	cols = append(cols, algoNames...)
+	cols = append(cols, "#closed")
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+		if widths[i] < 9 {
+			widths[i] = 9
+		}
+	}
+
+	cells := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		line := []string{fmt.Sprintf("%d", r.MinSupport)}
+		for _, name := range algoNames {
+			line = append(line, formatCell(r.Cells[name]))
+		}
+		if r.Closed >= 0 {
+			line = append(line, fmt.Sprintf("%d", r.Closed))
+		} else {
+			line = append(line, "-")
+		}
+		cells = append(cells, line)
+		for i, s := range line {
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+
+	writeLine := func(fields []string) {
+		var b strings.Builder
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], f)
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	writeLine(cols)
+	for _, line := range cells {
+		writeLine(line)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatCell(c Cell) string {
+	switch {
+	case c.Skipped:
+		return "-"
+	case c.TimedOut:
+		return "t/o"
+	default:
+		return formatSeconds(c.Time)
+	}
+}
+
+func formatSeconds(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s < 0.0001:
+		return fmt.Sprintf("%.5f", s)
+	case s < 1:
+		return fmt.Sprintf("%.4f", s)
+	default:
+		return fmt.Sprintf("%.2f", s)
+	}
+}
+
+// WriteLogSeries renders the same rows as log10(time/seconds) — the
+// paper's y-axis — so the curve shapes can be compared directly against
+// Figures 5–8.
+func WriteLogSeries(w io.Writer, algoNames []string, rows []Row) {
+	fmt.Fprintln(w, "log10(time/seconds), as in the paper's figures:")
+	widths := 10
+	var head strings.Builder
+	fmt.Fprintf(&head, "%*s", widths, "minsup")
+	for _, n := range algoNames {
+		fmt.Fprintf(&head, "  %*s", widths, n)
+	}
+	fmt.Fprintln(w, head.String())
+	for _, r := range rows {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%*d", widths, r.MinSupport)
+		for _, n := range algoNames {
+			c := r.Cells[n]
+			if c.Skipped || c.TimedOut {
+				fmt.Fprintf(&b, "  %*s", widths, "·")
+				continue
+			}
+			fmt.Fprintf(&b, "  %*.2f", widths, math.Log10(math.Max(c.Time.Seconds(), 1e-6)))
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	fmt.Fprintln(w)
+}
+
+// Speedup summarises, for the last row in which both algorithms finished,
+// how much faster a is than b (the "who wins by what factor" statement
+// EXPERIMENTS.md records per figure).
+func Speedup(rows []Row, a, b string) (minsup int, factor float64, ok bool) {
+	for i := len(rows) - 1; i >= 0; i-- {
+		ca, okA := rows[i].Cells[a]
+		cb, okB := rows[i].Cells[b]
+		if okA && okB && !ca.Skipped && !ca.TimedOut && !cb.Skipped && !cb.TimedOut && ca.Time > 0 {
+			return rows[i].MinSupport, cb.Time.Seconds() / ca.Time.Seconds(), true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,244 @@
+package carpenter
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/result"
+)
+
+// Variant selects the database representation of §3.1.
+type Variant int
+
+const (
+	// Lists is the list-based implementation (§3.1.1): a vertical
+	// representation with per-item transaction index lists and per-branch
+	// positions into them.
+	Lists Variant = iota
+	// Table is the table-based implementation (§3.1.2): the n×|B| matrix
+	// of Table 1, whose entries answer membership and the remaining-
+	// occurrence count in one lookup.
+	Table
+)
+
+func (v Variant) String() string {
+	if v == Table {
+		return "carpenter-table"
+	}
+	return "carpenter-lists"
+}
+
+// Options configures the Carpenter miner. The zero value uses the
+// list-based variant with the paper's default preprocessing and item
+// elimination enabled.
+type Options struct {
+	// MinSupport is the absolute minimum support; values < 1 act as 1.
+	MinSupport int
+	// Variant selects lists or table representation.
+	Variant Variant
+	// ItemOrder / TransOrder select the preprocessing (§3.4).
+	ItemOrder  dataset.ItemOrder
+	TransOrder dataset.TransOrder
+	// DisableElimination turns off the item elimination optimization
+	// ("this optimization leads to a considerable speed-up", §3.1.1). It
+	// never changes the result.
+	DisableElimination bool
+	// HashRepository replaces the prefix-tree repository of §3.1.1 with a
+	// plain hash map keyed on the canonical set encoding. It never
+	// changes the result; it exists for the repository-layout ablation.
+	HashRepository bool
+	// Done optionally cancels the run.
+	Done <-chan struct{}
+}
+
+// Mine enumerates transaction sets per §3.1 and reports every closed item
+// set with support at least opts.MinSupport in original item codes.
+func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	minsup := opts.MinSupport
+	if minsup < 1 {
+		minsup = 1
+	}
+	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
+	pdb := prep.DB
+	if pdb.Items == 0 || len(pdb.Trans) < minsup {
+		return nil
+	}
+
+	m := &miner{
+		minsup: minsup,
+		n:      len(pdb.Trans),
+		elim:   !opts.DisableElimination,
+		prep:   prep,
+		rep:    rep,
+		ctl:    mining.NewControl(opts.Done),
+	}
+	if opts.HashRepository {
+		m.repo = newHashRepo()
+	} else {
+		m.repo = newRepoTree(pdb.Items)
+	}
+	if opts.Variant == Table {
+		m.matrix = pdb.ToMatrix().M
+	} else {
+		m.tids = pdb.ToVertical().Tids
+	}
+
+	// The root subproblem is (B, ∅, 1): the full item base, nothing
+	// intersected yet.
+	if opts.Variant == Table {
+		root := make([]itemset.Item, pdb.Items)
+		for i := range root {
+			root[i] = itemset.Item(i)
+		}
+		return m.exploreTable(root, 0, 0)
+	}
+	root := make([]ip, pdb.Items)
+	for i := range root {
+		root[i] = ip{item: itemset.Item(i)}
+	}
+	return m.exploreLists(root, 0, 0)
+}
+
+type miner struct {
+	minsup int
+	n      int
+	elim   bool
+	repo   repository
+	prep   *dataset.Prepared
+	rep    result.Reporter
+	ctl    *mining.Control
+
+	tids   [][]int32 // lists variant
+	matrix [][]int32 // table variant
+
+	scratch itemset.Set // reusable buffer for repository lookups/reports
+}
+
+// ip is one item of the current intersection in the lists variant,
+// carrying the branch-local position into the item's transaction list
+// (the "next unprocessed transaction index" of §3.1.1).
+type ip struct {
+	item itemset.Item
+	pos  int32
+}
+
+// exploreLists processes the subproblem whose intersection is items
+// (ascending item order; positions point at the first transaction index
+// ≥ ell in each list) with |K| = kSize, scanning transactions ell..n-1.
+func (m *miner) exploreLists(items []ip, kSize, ell int) error {
+	perfectSeen := false
+	for j := ell; j < m.n && len(items) > 0; j++ {
+		if err := m.ctl.Tick(); err != nil {
+			return err
+		}
+		// Neither this node nor anything below can reach minsup anymore.
+		if kSize+(m.n-j) < m.minsup {
+			break
+		}
+		// Intersect with transaction j: keep the items whose list
+		// contains j, applying item elimination (§3.1.1): an item whose
+		// remaining occurrences cannot lift |K|+1 to minsup is dropped.
+		matched := 0
+		child := make([]ip, 0, len(items))
+		for _, it := range items {
+			tl := m.tids[it.item]
+			if int(it.pos) < len(tl) && tl[it.pos] == int32(j) {
+				matched++
+				if !m.elim || kSize+len(tl)-int(it.pos) >= m.minsup {
+					child = append(child, ip{item: it.item, pos: it.pos + 1})
+				}
+			}
+		}
+		perfect := matched == len(items)
+		if len(child) > 0 && !m.repo.Contains(m.setOf(child)) {
+			if err := m.exploreLists(child, kSize+1, j+1); err != nil {
+				return err
+			}
+		}
+		if perfect {
+			// Perfect extension (I1 == I0): the exclude branch cannot
+			// produce reportable output; moreover this node's set is
+			// contained in t_j, so it is reported deeper, not here.
+			perfectSeen = true
+			break
+		}
+		// Advance the scan positions past j for the next iteration.
+		for i := range items {
+			tl := m.tids[items[i].item]
+			if int(items[i].pos) < len(tl) && tl[items[i].pos] == int32(j) {
+				items[i].pos++
+			}
+		}
+	}
+	if !perfectSeen && kSize >= m.minsup {
+		m.report(m.setOf(items), kSize)
+	}
+	return nil
+}
+
+// setOf extracts the item codes of a lists-variant state into a reusable
+// scratch buffer (valid until the next setOf call).
+func (m *miner) setOf(items []ip) itemset.Set {
+	m.scratch = m.scratch[:0]
+	for _, it := range items {
+		m.scratch = append(m.scratch, it.item)
+	}
+	return m.scratch
+}
+
+// exploreTable is the same search over the matrix representation: items
+// holds the current intersection (ascending), membership and remaining
+// counts come from M[j][i].
+func (m *miner) exploreTable(items []itemset.Item, kSize, ell int) error {
+	perfectSeen := false
+	for j := ell; j < m.n && len(items) > 0; j++ {
+		if err := m.ctl.Tick(); err != nil {
+			return err
+		}
+		if kSize+(m.n-j) < m.minsup {
+			break
+		}
+		row := m.matrix[j]
+		matched := 0
+		child := make([]itemset.Item, 0, len(items))
+		for _, it := range items {
+			if cnt := row[it]; cnt > 0 {
+				matched++
+				if !m.elim || kSize+int(cnt) >= m.minsup {
+					child = append(child, it)
+				}
+			}
+		}
+		perfect := matched == len(items)
+		if len(child) > 0 && !m.repo.Contains(child) {
+			if err := m.exploreTable(child, kSize+1, j+1); err != nil {
+				return err
+			}
+		}
+		if perfect {
+			perfectSeen = true
+			break
+		}
+	}
+	if !perfectSeen && kSize >= m.minsup {
+		m.report(itemset.Set(items), kSize)
+	}
+	return nil
+}
+
+// report emits the set (after a final repository check — the set may have
+// been inserted by a sibling branch through a different transaction
+// prefix) and records it in the repository.
+func (m *miner) report(s itemset.Set, support int) {
+	if len(s) == 0 {
+		return
+	}
+	if m.repo.Contains(s) {
+		return
+	}
+	m.repo.Insert(s)
+	m.rep.Report(m.prep.DecodeSet(s), support)
+}

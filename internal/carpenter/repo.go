@@ -1,0 +1,97 @@
+// Package carpenter implements the two improved Carpenter variants of
+// §3.1 of the paper: transaction-set enumeration with a list-based
+// (vertical) database representation and with the table (matrix)
+// representation of Table 1. Both share the repository prefix tree used to
+// recognise item sets that were already reported from an enumeration
+// branch starting at an earlier transaction.
+package carpenter
+
+import "repro/internal/itemset"
+
+// repository is what the search needs from the store of already reported
+// closed item sets: exact-set membership.
+type repository interface {
+	Contains(s itemset.Set) bool
+	Insert(s itemset.Set)
+	Len() int
+}
+
+// hashRepo is the ablation alternative to the prefix tree: a hash map on
+// the canonical set encoding. Every lookup hashes the full set.
+type hashRepo struct{ m map[string]bool }
+
+func newHashRepo() *hashRepo { return &hashRepo{m: make(map[string]bool)} }
+
+func (r *hashRepo) Contains(s itemset.Set) bool { return r.m[s.Key()] }
+func (r *hashRepo) Insert(s itemset.Set)        { r.m[s.Key()] = true }
+func (r *hashRepo) Len() int                    { return len(r.m) }
+
+// repoTree is the repository of already reported closed item sets
+// (§3.1.1). Its top level is a flat array over all items — important
+// because the data sets Carpenter targets have very many items and an
+// almost fully populated top level, where a sibling list would degenerate.
+// Deeper levels are sparse and use sibling lists.
+type repoTree struct {
+	top []*repoNode // indexed by the first (lowest) item of the set
+	n   int
+}
+
+type repoNode struct {
+	item     itemset.Item
+	terminal bool
+	sibling  *repoNode
+	children *repoNode
+}
+
+func newRepoTree(items int) *repoTree {
+	return &repoTree{top: make([]*repoNode, items)}
+}
+
+// Len returns the number of stored sets.
+func (r *repoTree) Len() int { return r.n }
+
+// Contains reports whether exactly the set s was stored before. s must be
+// non-empty and canonical.
+func (r *repoTree) Contains(s itemset.Set) bool {
+	node := r.top[s[0]]
+	if node == nil {
+		return false
+	}
+	for _, it := range s[1:] {
+		node = findSibling(node.children, it)
+		if node == nil {
+			return false
+		}
+	}
+	return node.terminal
+}
+
+// Insert stores the set s. s must be non-empty and canonical.
+func (r *repoTree) Insert(s itemset.Set) {
+	node := r.top[s[0]]
+	if node == nil {
+		node = &repoNode{item: s[0]}
+		r.top[s[0]] = node
+	}
+	for _, it := range s[1:] {
+		next := findSibling(node.children, it)
+		if next == nil {
+			next = &repoNode{item: it, sibling: node.children}
+			node.children = next
+		}
+		node = next
+	}
+	if !node.terminal {
+		node.terminal = true
+		r.n++
+	}
+}
+
+func findSibling(head *repoNode, it itemset.Item) *repoNode {
+	for n := head; n != nil; n = n.sibling {
+		if n.item == it {
+			return n
+		}
+	}
+	return nil
+}

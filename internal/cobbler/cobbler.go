@@ -1,0 +1,236 @@
+// Package cobbler implements a Cobbler-style closed item set miner (Pan,
+// Tung, Cong, Xu, SSDBM 2004), mentioned in §1 of the paper as the
+// closely related variant of Carpenter: it *combines column and row
+// enumeration*. The search starts as item (column) enumeration with a
+// vertical representation; as soon as a search node's cover shrinks below
+// a switching threshold, the search switches to transaction (row)
+// enumeration — Carpenter — on the conditional database.
+//
+// The switch is justified by the Galois connection of §2.5: the closed
+// item sets whose cover is contained in a node's transaction set T are
+// exactly the intersections of subsets of T, so a Carpenter run restricted
+// to T enumerates every closed set extending the node's closure, and the
+// subtree below the node can be abandoned. Intersections of transactions
+// are closed in the *full* database and carry their global support, so
+// results from row blocks are valid as-is; a repository deduplicates sets
+// reachable from several blocks.
+package cobbler
+
+import (
+	"repro/internal/carpenter"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/result"
+)
+
+// Options configures the miner.
+type Options struct {
+	// MinSupport is the absolute minimum support; values < 1 act as 1.
+	MinSupport int
+	// RowThreshold is the cover size at or below which the search
+	// switches to row enumeration. 0 selects the default (32). A value
+	// ≥ the transaction count makes the miner behave like a single
+	// Carpenter run; a negative value disables switching entirely
+	// (degenerating to pure column enumeration).
+	RowThreshold int
+	// Done optionally cancels the run.
+	Done <-chan struct{}
+}
+
+// defaultRowThreshold balances the two search styles: row enumeration is
+// exponential in the cover size, so blocks must stay small.
+const defaultRowThreshold = 32
+
+// Mine runs the combined column/row enumeration on db and reports every
+// closed item set with support at least opts.MinSupport in original item
+// codes.
+func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	minsup := opts.MinSupport
+	if minsup < 1 {
+		minsup = 1
+	}
+	threshold := opts.RowThreshold
+	if threshold == 0 {
+		threshold = defaultRowThreshold
+	}
+	prep := dataset.Prepare(db, minsup, dataset.OrderAscFreq, dataset.OrderOriginal)
+	pdb := prep.DB
+	if pdb.Items == 0 || len(pdb.Trans) < minsup {
+		return nil
+	}
+
+	m := &miner{
+		minsup:    minsup,
+		threshold: threshold,
+		db:        pdb,
+		prep:      prep,
+		rep:       rep,
+		ctl:       mining.NewControl(opts.Done),
+		reported:  make(map[string]bool),
+	}
+
+	// Root: if the whole database is already below the threshold, a
+	// single Carpenter run does everything.
+	if len(pdb.Trans) <= threshold {
+		all := make([]int32, len(pdb.Trans))
+		for k := range all {
+			all[k] = int32(k)
+		}
+		return m.rowEnumerate(all)
+	}
+
+	vert := pdb.ToVertical()
+	exts := make([]ext, 0, pdb.Items)
+	for i := 0; i < pdb.Items; i++ {
+		exts = append(exts, ext{item: itemset.Item(i), tids: vert.Tids[i]})
+	}
+	return m.mine(nil, exts)
+}
+
+type ext struct {
+	item itemset.Item
+	tids []int32
+}
+
+type miner struct {
+	minsup    int
+	threshold int
+	db        *dataset.Database
+	prep      *dataset.Prepared
+	rep       result.Reporter
+	ctl       *mining.Control
+	cfi       result.CFITree
+	reported  map[string]bool
+}
+
+// mine is the column-enumeration part: Eclat-style DFS over items with
+// closure candidates, switching to row enumeration when a node's cover is
+// small enough.
+func (m *miner) mine(prefix itemset.Set, exts []ext) error {
+	for idx, e := range exts {
+		if err := m.ctl.Tick(); err != nil {
+			return err
+		}
+		supp := len(e.tids)
+
+		if supp <= m.threshold {
+			// Row switch: a Carpenter run over this cover finds every
+			// closed set whose cover is contained in it — which includes
+			// everything this subtree could produce. The sibling
+			// extensions are NOT covered (their tid sets differ), so only
+			// this branch is replaced.
+			if err := m.rowEnumerate(e.tids); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Closure candidate via perfect extensions among the remaining
+		// items (as in FP-close / Eclat-closed; smaller-code same-support
+		// supersets were handled in earlier branches and are caught by
+		// the repository).
+		var next []ext
+		perfect := itemset.Set{}
+		for _, f := range exts[idx+1:] {
+			shared := intersectTids(e.tids, f.tids)
+			if len(shared) < m.minsup {
+				continue
+			}
+			if len(shared) == supp {
+				perfect = append(perfect, f.item)
+				continue
+			}
+			next = append(next, ext{item: f.item, tids: shared})
+		}
+		cand := make(itemset.Set, 0, len(prefix)+1+len(perfect))
+		cand = append(cand, prefix...)
+		cand = append(cand, e.item)
+		cand = append(cand, perfect...)
+		canon := itemset.New(cand...)
+		if m.cfi.Subsumed(canon, supp) {
+			continue
+		}
+		m.emit(canon, supp)
+		if len(next) > 0 {
+			if err := m.mine(canon.Clone(), next); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rowEnumerate runs Carpenter on the sub-database given by tids. The
+// intersections of subsets of these transactions are closed in the full
+// database and their support within the block equals their global support
+// (every transaction containing such a set lies in the block), so results
+// can be reported directly after deduplication.
+func (m *miner) rowEnumerate(tids []int32) error {
+	if len(tids) < m.minsup {
+		return nil
+	}
+	sub := &dataset.Database{Items: m.db.Items, Trans: make([]itemset.Set, len(tids))}
+	for i, t := range tids {
+		sub.Trans[i] = m.db.Trans[t]
+	}
+	return carpenter.Mine(sub, carpenter.Options{
+		MinSupport: m.minsup,
+		Variant:    carpenter.Table,
+		Done:       doneOf(m.ctl),
+	}, result.ReporterFunc(func(items itemset.Set, supp int) {
+		// Carpenter reports in sub's codes, which are this miner's
+		// prepared codes (Prepare inside carpenter keeps a bijection that
+		// its own decode undoes).
+		m.emit(items, supp)
+	}))
+}
+
+// emit reports a closed set once, in original item codes, and records it
+// in both deduplication structures.
+func (m *miner) emit(items itemset.Set, supp int) {
+	k := items.Key()
+	if m.reported[k] {
+		return
+	}
+	m.reported[k] = true
+	m.cfi.Insert(items, supp)
+	m.rep.Report(m.prep.DecodeSet(items), supp)
+}
+
+// doneOf adapts the control back to a done channel for the nested
+// Carpenter run: if this miner was canceled, the nested run starts
+// canceled as well.
+func doneOf(ctl *mining.Control) <-chan struct{} {
+	if ctl.Canceled() {
+		ch := make(chan struct{})
+		close(ch)
+		return ch
+	}
+	return nil
+}
+
+func intersectTids(a, b []int32) []int32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]int32, 0, n)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

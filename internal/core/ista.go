@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/result"
+)
+
+// Options configures the IsTa miner. The zero value requests the paper's
+// recommended configuration: items coded by ascending frequency,
+// transactions processed by increasing size, pruning enabled.
+type Options struct {
+	// MinSupport is the absolute minimum support; values < 1 act as 1.
+	MinSupport int
+	// ItemOrder selects the item coding (§3.4; default ascending
+	// frequency — the rarest item gets code 0).
+	ItemOrder dataset.ItemOrder
+	// TransOrder selects the transaction processing order (§3.4; default
+	// increasing size).
+	TransOrder dataset.TransOrder
+	// DisablePruning turns off the item-elimination tree pruning of §3.2.
+	// Pruning never changes the result, only time and memory.
+	DisablePruning bool
+	// Done optionally cancels the run; Mine then returns
+	// mining.ErrCanceled.
+	Done <-chan struct{}
+}
+
+// pruneMinNodes avoids pruning while the tree is trivially small.
+const pruneMinNodes = 4096
+
+// Mine runs IsTa on db and reports every closed item set with support at
+// least opts.MinSupport, in the database's original item codes. It is the
+// entry point for the paper's primary algorithm.
+func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	minsup := opts.MinSupport
+	if minsup < 1 {
+		minsup = 1
+	}
+	ctl := mining.NewControl(opts.Done)
+
+	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
+	pdb := prep.DB
+	if pdb.Items == 0 {
+		return nil
+	}
+
+	// remain[i] = occurrences of item i in the not-yet-processed
+	// transactions; it starts at the global frequencies and is decremented
+	// as transactions are consumed (§3.2).
+	var remain []int
+	if !opts.DisablePruning {
+		remain = append([]int(nil), prep.Freq...)
+	}
+
+	tree := NewTree(pdb.Items)
+	// Poll cancellation inside the intersection passes too: a single pass
+	// over a large tree would otherwise delay a timeout arbitrarily.
+	tree.SetCancel(ctl.Canceled)
+	lastPruneNodes := 0
+	for _, t := range pdb.Trans {
+		if err := ctl.Tick(); err != nil {
+			return err
+		}
+		tree.AddTransaction(t)
+		if tree.Aborted() {
+			return mining.ErrCanceled
+		}
+		if remain == nil {
+			continue
+		}
+		for _, i := range t {
+			remain[i]--
+		}
+		// Prune when the tree has grown substantially since the last
+		// pass; the pass is linear in the tree size, so amortized cost
+		// stays proportional to growth.
+		if n := tree.NodeCount(); n >= pruneMinNodes && n >= lastPruneNodes+lastPruneNodes/8 {
+			tree.Prune(remain, minsup)
+			tree.Compact()
+			lastPruneNodes = tree.NodeCount()
+		}
+	}
+
+	var err error
+	tree.Report(minsup, func(items itemset.Set, support int) {
+		if err != nil {
+			return
+		}
+		if e := ctl.Tick(); e != nil {
+			err = e
+			return
+		}
+		rep.Report(prep.DecodeSet(items), support)
+	})
+	return err
+}

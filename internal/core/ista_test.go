@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/naive"
+	"repro/internal/result"
+)
+
+func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
+	trans := make([]itemset.Set, n)
+	for k := range trans {
+		var t itemset.Set
+		for i := 0; i < items; i++ {
+			if rng.Float64() < density {
+				t = append(t, itemset.Item(i))
+			}
+		}
+		trans[k] = t
+	}
+	return dataset.New(trans, items)
+}
+
+// TestMineMatchesOracle is the central correctness test: IsTa must produce
+// exactly the closed frequent item sets of the brute-force oracle on many
+// randomized databases, for several support thresholds, with and without
+// pruning.
+func TestMineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 150; trial++ {
+		items := 2 + rng.Intn(10)
+		n := 1 + rng.Intn(14)
+		db := randDB(rng, items, n, 0.1+rng.Float64()*0.6)
+		for _, minsup := range []int{1, 2, 3, n/2 + 1} {
+			want, err := naive.ClosedByTransactionSubsets(db, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, disablePrune := range []bool{false, true} {
+				var got result.Set
+				err := Mine(db, Options{MinSupport: minsup, DisablePruning: disablePrune}, got.Collect())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("IsTa mismatch (minsup=%d prune=%v db=%v):\n%s",
+						minsup, !disablePrune, db.Trans, got.Diff(want, 10))
+				}
+			}
+		}
+	}
+}
+
+// TestMineOrderInvariance: the set of closed frequent item sets must not
+// depend on the item coding or the transaction processing order (§3.4
+// only affects speed).
+func TestMineOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	itemOrders := []dataset.ItemOrder{dataset.OrderAscFreq, dataset.OrderDescFreq, dataset.OrderKeep}
+	transOrders := []dataset.TransOrder{dataset.OrderSizeAsc, dataset.OrderSizeDesc, dataset.OrderOriginal}
+	for trial := 0; trial < 40; trial++ {
+		db := randDB(rng, 2+rng.Intn(9), 2+rng.Intn(12), 0.2+rng.Float64()*0.5)
+		minsup := 1 + rng.Intn(3)
+		var ref result.Set
+		if err := Mine(db, Options{MinSupport: minsup}, ref.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		for _, io := range itemOrders {
+			for _, to := range transOrders {
+				var got result.Set
+				err := Mine(db, Options{MinSupport: minsup, ItemOrder: io, TransOrder: to}, got.Collect())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(&ref) {
+					t.Fatalf("order (%v,%v) changed the result (minsup=%d db=%v):\n%s",
+						io, to, minsup, db.Trans, got.Diff(&ref, 10))
+				}
+			}
+		}
+	}
+}
+
+func TestMineEdgeCases(t *testing.T) {
+	// Empty database.
+	var got result.Set
+	if err := Mine(&dataset.Database{Items: 4}, Options{MinSupport: 1}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty db: %d patterns", got.Len())
+	}
+
+	// Single transaction.
+	got = result.Set{}
+	db := dataset.FromInts([]int{1, 3, 5})
+	if err := Mine(db, Options{MinSupport: 1}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	var want result.Set
+	want.Add(itemset.FromInts(1, 3, 5), 1)
+	if !got.Equal(&want) {
+		t.Fatalf("single transaction: %s", got.Diff(&want, 5))
+	}
+
+	// MinSupport above the transaction count.
+	got = result.Set{}
+	if err := Mine(db, Options{MinSupport: 2}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatal("minsup > n must yield nothing")
+	}
+
+	// Identical item in every transaction.
+	got = result.Set{}
+	db = dataset.FromInts([]int{0, 1}, []int{0, 2}, []int{0})
+	if err := Mine(db, Options{MinSupport: 3}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	want = result.Set{}
+	want.Add(itemset.FromInts(0), 3)
+	if !got.Equal(&want) {
+		t.Fatalf("common item: %s", got.Diff(&want, 5))
+	}
+
+	// Invalid database is rejected.
+	bad := &dataset.Database{Items: 1, Trans: []itemset.Set{{3}}}
+	if err := Mine(bad, Options{MinSupport: 1}, &result.Counter{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestMineReportsOriginalCodes(t *testing.T) {
+	// Items 10 and 20 with gaps; recoding must be undone on report.
+	db := dataset.New([]itemset.Set{
+		itemset.FromInts(10, 20),
+		itemset.FromInts(10, 20),
+		itemset.FromInts(10),
+	}, 0)
+	var got result.Set
+	if err := Mine(db, Options{MinSupport: 2}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	var want result.Set
+	want.Add(itemset.FromInts(10), 3)
+	want.Add(itemset.FromInts(10, 20), 2)
+	if !got.Equal(&want) {
+		t.Fatalf("codes: %s", got.Diff(&want, 5))
+	}
+}
+
+func TestMineCancel(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	db := randDB(rand.New(rand.NewSource(3)), 40, 600, 0.4)
+	err := Mine(db, Options{MinSupport: 2, Done: done}, &result.Counter{})
+	if err != mining.ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestPruneEquivalenceLarger drives pruning through its threshold on a
+// database big enough that Prune actually runs, and cross-checks the two
+// configurations against each other (the oracle would be too slow here).
+func TestPruneEquivalenceLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	db := randDB(rng, 60, 120, 0.25)
+	for _, minsup := range []int{2, 5, 12, 30} {
+		var with, without result.Set
+		if err := Mine(db, Options{MinSupport: minsup}, with.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		if err := Mine(db, Options{MinSupport: minsup, DisablePruning: true}, without.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		if !with.Equal(&without) {
+			t.Fatalf("pruning changed results at minsup %d:\n%s", minsup, with.Diff(&without, 10))
+		}
+		if err := result.Verify(db, &with, minsup); err != nil {
+			t.Fatalf("verification failed at minsup %d: %v", minsup, err)
+		}
+	}
+}
+
+// TestPruneDirect exercises Tree.Prune explicitly: after pruning with the
+// true remaining counts, reporting must still produce exactly the closed
+// frequent sets.
+func TestPruneDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 60; trial++ {
+		items := 3 + rng.Intn(8)
+		n := 4 + rng.Intn(12)
+		db := randDB(rng, items, n, 0.2+rng.Float64()*0.5)
+		minsup := 2 + rng.Intn(3)
+
+		prep := dataset.Prepare(db, minsup, dataset.OrderAscFreq, dataset.OrderSizeAsc)
+		remain := append([]int(nil), prep.Freq...)
+		tree := NewTree(prep.DB.Items)
+		for _, tr := range prep.DB.Trans {
+			tree.AddTransaction(tr)
+			for _, i := range tr {
+				remain[i]--
+			}
+			tree.Prune(remain, minsup) // prune after every transaction: worst case
+		}
+		var got result.Set
+		tree.Report(minsup, func(s itemset.Set, supp int) {
+			got.Add(prep.DecodeSet(s), supp)
+		})
+		want, err := naive.ClosedByTransactionSubsets(db, minsup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("aggressive pruning broke results (minsup=%d db=%v):\n%s",
+				minsup, db.Trans, got.Diff(want, 10))
+		}
+	}
+}
+
+// TestCancelLatencyMidTransaction: cancellation must take effect even in
+// the middle of one huge intersection pass (regression test for the
+// harness stall where a single AddTransaction on an unpruned tree could
+// not be interrupted).
+func TestCancelLatencyMidTransaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	db := randDB(rng, 120, 300, 0.35)
+	done := make(chan struct{})
+	start := time.Now()
+	time.AfterFunc(150*time.Millisecond, func() { close(done) })
+	err := Mine(db, Options{MinSupport: 2, DisablePruning: true, Done: done}, &result.Counter{})
+	elapsed := time.Since(start)
+	if err != mining.ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+// Prune implements the item-elimination scheme of §3.2: remain[i] must
+// hold the number of occurrences of item i in the not-yet-processed
+// transactions. A node is removed when supp + remain[item] < minSupport:
+// every set represented in its subtree contains the node's item and has at
+// most the node's support, so no such set — nor any future intersection
+// that still contains the item, whose occurrences are bounded by
+// remain[item] — can reach minSupport. The removal does not discard the
+// subtree (whose sets may still generate frequent subsets through future
+// intersections) but *removes the item*: the node's children are merged
+// into its sibling list, combining nodes with equal items by taking the
+// maximum support and merging their child lists recursively.
+//
+// Note that the bound must use the node's own item, not the minimum
+// remaining count along the path: a future intersection may retain this
+// item while dropping a scarce ancestor item, so a path-wide bound would
+// prune sets that still have a future (this is easy to get wrong — the
+// test suite contains a regression case).
+//
+// This may leave sets in the tree that are not closed; they are harmless
+// because they either reappear as genuine intersections (and then carry
+// the correct support) or stay below minSupport and are filtered by
+// Report, exactly as argued in the paper.
+func (t *Tree) Prune(remain []int, minSupport int) {
+	if minSupport <= 1 {
+		return
+	}
+	t.children = t.prune(t.children, remain, int32(minSupport))
+}
+
+// prune processes one sibling list and returns its new head. Lifting a
+// pruned node's children into the remainder of the list keeps it sorted:
+// child items are smaller than the pruned item, which in turn is smaller
+// than every item already kept, so the ordered merge with the unprocessed
+// tail suffices and kept nodes can simply be appended; lifted nodes are
+// re-inspected by the continued loop like any other sibling.
+func (t *Tree) prune(list *node, remain []int, minSupport int32) *node {
+	var head *node
+	tail := &head
+	n := list
+	for n != nil {
+		next := n.sibling
+		if n.supp+int32(remain[n.item]) < minSupport {
+			// No reportable set can retain this item below this node:
+			// remove the item, lift the children.
+			lifted := n.children
+			t.arena.release(n)
+			n = t.merge(lifted, next)
+			continue
+		}
+		n.children = t.prune(n.children, remain, minSupport)
+		*tail = n
+		tail = &n.sibling
+		n = next
+	}
+	*tail = nil
+	return head
+}
+
+// merge combines two sibling lists (both sorted by descending item code)
+// into one, merging nodes with equal items: the surviving node takes the
+// maximum support and the recursive merge of both child lists.
+func (t *Tree) merge(a, b *node) *node {
+	var head *node
+	tail := &head
+	for a != nil && b != nil {
+		switch {
+		case a.item > b.item:
+			*tail = a
+			tail = &a.sibling
+			a = a.sibling
+		case a.item < b.item:
+			*tail = b
+			tail = &b.sibling
+			b = b.sibling
+		default:
+			// Same item: keep a, fold b into it.
+			if b.supp > a.supp {
+				a.supp = b.supp
+			}
+			a.children = t.merge(a.children, b.children)
+			bn := b.sibling
+			t.arena.release(b)
+			*tail = a
+			tail = &a.sibling
+			a = a.sibling
+			b = bn
+		}
+	}
+	if a != nil {
+		*tail = a
+	} else {
+		*tail = b
+	}
+	return head
+}

@@ -1,0 +1,259 @@
+// Package core implements IsTa, the paper's primary contribution
+// (§3.2–3.4): mining closed frequent item sets by cumulative intersection.
+// A prefix tree stores all closed item sets of the transactions processed
+// so far; each new transaction is first inserted into the tree and then
+// intersected with every stored set in one recursive pass that creates the
+// new intersections in place (Fig. 2 of the paper). A final traversal
+// reports the nodes that are frequent and closed (Fig. 4).
+package core
+
+import (
+	"repro/internal/itemset"
+)
+
+// node is a prefix tree node, mirroring Fig. 1 of the paper. The item set
+// represented by a node consists of the node's item plus the items on the
+// path to the root. Children always carry items with lower codes than
+// their parent, and sibling lists are sorted by descending item code.
+//
+// (An int32-index arena layout was tried and measured slower than plain
+// pointers: the extra address arithmetic and bounds checks in the
+// traversal hot loop cost more than the smaller nodes saved.)
+type node struct {
+	item     int32 // associated item (last in the represented set)
+	step     int32 // most recent update step (transaction index + 1)
+	supp     int32 // support of the represented item set
+	sibling  *node // successor in the sibling list (descending items)
+	children *node // head of the child list
+}
+
+// arena is a slab allocator for nodes. It exists for the same reason the C
+// implementation manages its own node memory: IsTa allocates and (during
+// pruning) releases millions of small nodes, and a freelist plus slab
+// blocks is far cheaper than exercising the general-purpose allocator for
+// each one.
+type arena struct {
+	blocks [][]node
+	used   int   // used entries in the last block
+	free   *node // freelist threaded through sibling pointers
+	live   int   // currently allocated (not freed) nodes
+}
+
+const arenaBlock = 8192
+
+func (a *arena) alloc() *node {
+	a.live++
+	if n := a.free; n != nil {
+		a.free = n.sibling
+		*n = node{}
+		return n
+	}
+	if len(a.blocks) == 0 || a.used == arenaBlock {
+		a.blocks = append(a.blocks, make([]node, arenaBlock))
+		a.used = 0
+	}
+	n := &a.blocks[len(a.blocks)-1][a.used]
+	a.used++
+	return n
+}
+
+func (a *arena) release(n *node) {
+	a.live--
+	n.sibling = a.free
+	n.children = nil
+	a.free = n
+}
+
+// Tree is the IsTa repository: a prefix tree over item codes together with
+// the per-transaction scratch state of the intersection pass.
+type Tree struct {
+	children *node // root's child list (the root represents the empty set)
+	arena    arena
+	trans    []bool // membership flags of the current transaction (Fig. 2's trans[])
+	imin     int32  // lowest item code in the current transaction
+	step     int32  // current update step = number of transactions processed
+
+	// Cancellation support: a single intersection pass can stream over
+	// millions of nodes, so waiting for the pass to finish would make a
+	// caller's timeout arbitrarily late. cancel is polled every
+	// cancelInterval node visits; once it fires, the pass unwinds and the
+	// tree contents are undefined (the mining run is being abandoned).
+	cancel  func() bool
+	ticks   int
+	aborted bool
+}
+
+const cancelInterval = 1 << 14
+
+// SetCancel installs a cancellation probe polled during intersection
+// passes. A nil probe (the default) disables polling.
+func (t *Tree) SetCancel(cancel func() bool) { t.cancel = cancel }
+
+// Aborted reports whether a cancellation probe fired during a pass; the
+// tree contents are undefined afterwards.
+func (t *Tree) Aborted() bool { return t.aborted }
+
+// NewTree returns an empty tree over item codes 0..items-1.
+func NewTree(items int) *Tree {
+	return &Tree{trans: make([]bool, items)}
+}
+
+// NodeCount returns the number of live tree nodes (excluding the root).
+func (t *Tree) NodeCount() int { return t.arena.live }
+
+// Step returns the number of transactions processed so far.
+func (t *Tree) Step() int { return int(t.step) }
+
+// AddTransaction processes one transaction: it inserts the transaction
+// into the tree (new nodes start at support 0, per step 3.1 in Fig. 3 of
+// the paper) and then runs the intersection pass, which also counts the
+// transaction itself through the self-match. Empty transactions only
+// advance the step counter. The items must be canonical (ascending).
+func (t *Tree) AddTransaction(items itemset.Set) {
+	t.step++
+	if len(items) == 0 {
+		return
+	}
+
+	// Insert the transaction's path (descending item codes from the root).
+	ins := &t.children
+	for i := len(items) - 1; i >= 0; i-- {
+		it := int32(items[i])
+		for *ins != nil && (*ins).item > it {
+			ins = &(*ins).sibling
+		}
+		if c := *ins; c != nil && c.item == it {
+			ins = &c.children
+			continue
+		}
+		n := t.arena.alloc()
+		n.item = it
+		n.sibling = *ins
+		*ins = n
+		ins = &n.children
+	}
+
+	// Intersection pass.
+	for _, it := range items {
+		t.trans[it] = true
+	}
+	t.imin = int32(items[0])
+	t.isect(t.children, &t.children)
+	for _, it := range items {
+		t.trans[it] = false
+	}
+}
+
+// isect is the recursive intersection procedure of Fig. 2. n traverses a
+// sibling list of the existing tree; ins points at the link that holds the
+// list representing the intersection of the already processed part of the
+// transaction with the set represented by the path to n, i.e. where nodes
+// for extended intersections must be looked up or inserted.
+func (t *Tree) isect(n *node, ins **node) {
+	trans, imin, step := t.trans, t.imin, t.step
+	for n != nil {
+		if t.aborted {
+			return // unwind promptly across all recursion levels
+		}
+		if t.ticks--; t.ticks <= 0 {
+			t.ticks = cancelInterval
+			if t.cancel != nil && t.cancel() {
+				t.aborted = true
+				return
+			}
+		}
+		i := n.item
+		if trans[i] {
+			// The item is in the intersection: find or create the node
+			// for the extended intersection in the ins list.
+			d := *ins
+			for d != nil && d.item > i {
+				ins = &d.sibling
+				d = *ins
+			}
+			if d != nil && d.item == i {
+				// Existing node: update its support. If it was already
+				// updated in this step, discount the current transaction
+				// before taking the maximum (the step field acts as an
+				// incremental update flag).
+				if d.step >= step {
+					d.supp--
+				}
+				if d.supp < n.supp {
+					d.supp = n.supp
+				}
+				d.supp++
+				d.step = step
+			} else {
+				d = t.arena.alloc()
+				d.step = step
+				d.item = i
+				d.supp = n.supp + 1
+				d.sibling = *ins
+				*ins = d
+			}
+			if i <= imin {
+				// No item below imin can be in the transaction, so
+				// neither deeper nodes nor later siblings (all of which
+				// carry lower codes) can contribute.
+				return
+			}
+			if n.children != nil {
+				t.isect(n.children, &d.children)
+			}
+		} else {
+			if i <= imin {
+				return
+			}
+			// Item not in the intersection: descend without advancing the
+			// insertion position.
+			if n.children != nil {
+				t.isect(n.children, ins)
+			}
+		}
+		n = n.sibling
+	}
+}
+
+// Report emits every closed item set with support ≥ minSupport, following
+// Fig. 4: a node is reported iff its support reaches the minimum and
+// strictly exceeds the maximum support of its children (otherwise the
+// represented set has a superset with equal support and is not closed).
+// The empty set is never reported. The items slice passed to emit is
+// reused between calls.
+func (t *Tree) Report(minSupport int, emit func(items itemset.Set, support int)) {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	path := make(itemset.Set, 0, 32)
+	t.report(t.children, path, int32(minSupport), emit)
+}
+
+func (t *Tree) report(list *node, path itemset.Set, minSupport int32, emit func(items itemset.Set, support int)) {
+	for c := list; c != nil; c = c.sibling {
+		maxChild := int32(-1)
+		for g := c.children; g != nil; g = g.sibling {
+			if g.supp >= minSupport && g.supp > maxChild {
+				maxChild = g.supp
+			}
+		}
+		// An infrequent child can never tie a frequent parent (it would
+		// be frequent itself), so only frequent children matter for the
+		// closedness check, exactly as in Fig. 4.
+		sub := append(path, c.item)
+		if c.supp >= minSupport && c.supp > maxChild {
+			// The path carries item codes descending from the root;
+			// reverse into canonical order.
+			out := make(itemset.Set, len(sub))
+			for i, it := range sub {
+				out[len(sub)-1-i] = it
+			}
+			emit(out, int(c.supp))
+		}
+		// Support never increases from parent to child, so an infrequent
+		// subtree contains nothing reportable (Fig. 4 skips it too).
+		if c.supp >= minSupport {
+			t.report(c.children, sub, minSupport, emit)
+		}
+	}
+}

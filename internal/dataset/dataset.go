@@ -1,0 +1,434 @@
+// Package dataset provides the transaction database representation shared
+// by all miners, together with the preprocessing steps the paper relies on:
+// infrequent-item removal, item recoding by frequency (§3.4: rarest item
+// gets code 0), transaction ordering (§3.4: increasing size, ties broken
+// lexicographically), database transposition (§4), and the horizontal /
+// vertical / matrix views the individual algorithms consume.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// Database is a transaction database over a dense item universe
+// 0..Items-1. Transactions are canonical item sets (strictly ascending).
+// Duplicate transactions are allowed and count separately, matching the
+// paper's multiset semantics.
+type Database struct {
+	// Items is the size of the item universe. Item codes in transactions
+	// are in [0, Items).
+	Items int
+	// Trans holds the transactions.
+	Trans []itemset.Set
+	// Names optionally maps item codes to external names. It may be nil;
+	// if non-nil its length is Items.
+	Names []string
+}
+
+// New builds a Database from raw transactions. The item universe is the
+// smallest universe containing every item (or minItems if larger), so an
+// explicitly empty universe is only possible for an empty database.
+func New(trans []itemset.Set, minItems int) *Database {
+	items := minItems
+	for _, t := range trans {
+		if len(t) > 0 {
+			if top := int(t[len(t)-1]) + 1; top > items {
+				items = top
+			}
+		}
+	}
+	return &Database{Items: items, Trans: trans}
+}
+
+// FromInts builds a small database from int literals; it is a test and
+// example convenience.
+func FromInts(rows ...[]int) *Database {
+	trans := make([]itemset.Set, len(rows))
+	for i, r := range rows {
+		trans[i] = itemset.FromInts(r...)
+	}
+	return New(trans, 0)
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	c := &Database{Items: db.Items}
+	c.Trans = make([]itemset.Set, len(db.Trans))
+	for i, t := range db.Trans {
+		c.Trans[i] = t.Clone()
+	}
+	if db.Names != nil {
+		c.Names = append([]string(nil), db.Names...)
+	}
+	return c
+}
+
+// Validate checks structural invariants. Miners call it on entry so that
+// malformed input fails fast with a useful error instead of corrupting a
+// repository.
+func (db *Database) Validate() error {
+	if db.Items < 0 {
+		return fmt.Errorf("dataset: negative item universe %d", db.Items)
+	}
+	if db.Names != nil && len(db.Names) != db.Items {
+		return fmt.Errorf("dataset: %d names for %d items", len(db.Names), db.Items)
+	}
+	for k, t := range db.Trans {
+		if !t.IsCanonical() {
+			return fmt.Errorf("dataset: transaction %d is not canonical: %v", k, t)
+		}
+		if len(t) > 0 {
+			if t[0] < 0 || int(t[len(t)-1]) >= db.Items {
+				return fmt.Errorf("dataset: transaction %d has item outside universe [0,%d): %v", k, db.Items, t)
+			}
+		}
+	}
+	return nil
+}
+
+// ItemFrequencies returns, for every item code, the number of transactions
+// containing it.
+func (db *Database) ItemFrequencies() []int {
+	freq := make([]int, db.Items)
+	for _, t := range db.Trans {
+		for _, i := range t {
+			freq[i]++
+		}
+	}
+	return freq
+}
+
+// Transpose returns the transposed database: transaction k of db becomes
+// item k of the result, and item i of db becomes transaction i. This is
+// the gene-expression duality from §4 of the paper (genes as transactions
+// vs. genes as items). Empty rows of the transposed database (items of db
+// contained in no transaction) are kept so that Transpose∘Transpose is the
+// identity up to trailing items.
+func (db *Database) Transpose() *Database {
+	trans := make([]itemset.Set, db.Items)
+	freq := db.ItemFrequencies()
+	for i, f := range freq {
+		trans[i] = make(itemset.Set, 0, f)
+	}
+	for k, t := range db.Trans {
+		for _, i := range t {
+			trans[i] = append(trans[i], itemset.Item(k))
+		}
+	}
+	return &Database{Items: len(db.Trans), Trans: trans}
+}
+
+// Stats summarises a database; the bench harness prints it next to every
+// experiment so the workload shape (the paper's key variable) is visible.
+type Stats struct {
+	Transactions int
+	Items        int     // universe size
+	UsedItems    int     // items occurring at least once
+	MinLen       int     // shortest transaction
+	MaxLen       int     // longest transaction
+	AvgLen       float64 // mean transaction length
+	Density      float64 // AvgLen / UsedItems
+}
+
+// Stats computes summary statistics.
+func (db *Database) Stats() Stats {
+	s := Stats{Transactions: len(db.Trans), Items: db.Items}
+	if len(db.Trans) == 0 {
+		return s
+	}
+	used := 0
+	for _, f := range db.ItemFrequencies() {
+		if f > 0 {
+			used++
+		}
+	}
+	s.UsedItems = used
+	s.MinLen = len(db.Trans[0])
+	total := 0
+	for _, t := range db.Trans {
+		n := len(t)
+		total += n
+		if n < s.MinLen {
+			s.MinLen = n
+		}
+		if n > s.MaxLen {
+			s.MaxLen = n
+		}
+	}
+	s.AvgLen = float64(total) / float64(len(db.Trans))
+	if used > 0 {
+		s.Density = s.AvgLen / float64(used)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d |B|=%d used=%d len[min=%d avg=%.1f max=%d] density=%.4f",
+		s.Transactions, s.Items, s.UsedItems, s.MinLen, s.AvgLen, s.MaxLen, s.Density)
+}
+
+// ItemOrder selects how item codes are (re)assigned during preprocessing.
+type ItemOrder int
+
+const (
+	// OrderAscFreq gives the rarest item code 0 (the paper's recommended
+	// coding, §3.4).
+	OrderAscFreq ItemOrder = iota
+	// OrderDescFreq gives the most frequent item code 0.
+	OrderDescFreq
+	// OrderKeep keeps the original codes (after compaction).
+	OrderKeep
+)
+
+func (o ItemOrder) String() string {
+	switch o {
+	case OrderAscFreq:
+		return "items:asc-freq"
+	case OrderDescFreq:
+		return "items:desc-freq"
+	case OrderKeep:
+		return "items:keep"
+	}
+	return fmt.Sprintf("items:%d", int(o))
+}
+
+// TransOrder selects how transactions are ordered during preprocessing.
+type TransOrder int
+
+const (
+	// OrderSizeAsc processes short transactions first (the paper's
+	// recommendation: the prefix tree stays small early on).
+	OrderSizeAsc TransOrder = iota
+	// OrderSizeDesc processes long transactions first (the paper reports
+	// this as clearly worse; kept for the §3.4 ablation).
+	OrderSizeDesc
+	// OrderOriginal keeps the input order.
+	OrderOriginal
+)
+
+func (o TransOrder) String() string {
+	switch o {
+	case OrderSizeAsc:
+		return "trans:size-asc"
+	case OrderSizeDesc:
+		return "trans:size-desc"
+	case OrderOriginal:
+		return "trans:original"
+	}
+	return fmt.Sprintf("trans:%d", int(o))
+}
+
+// Prepared is a preprocessed database: infrequent items removed, items
+// recoded, transactions reordered, plus the bookkeeping needed to report
+// results in the original item codes.
+type Prepared struct {
+	// DB is the preprocessed database (dense recoded universe).
+	DB *Database
+	// Decode maps a recoded item back to its original code.
+	Decode []itemset.Item
+	// Freq holds the frequency (in the full database) of each recoded
+	// item; since the recoded universe only contains frequent items,
+	// Freq[i] >= the minsup used for preparation.
+	Freq []int
+	// OrigTransactions is the number of transactions in the original
+	// database (empty transactions are dropped from DB but still counted
+	// here, matching the paper's support semantics).
+	OrigTransactions int
+}
+
+// Prepare performs the standard preprocessing pipeline shared by all
+// miners in this repository:
+//
+//  1. count item frequencies and drop items with frequency < minSupport
+//     (no closed frequent item set can contain them — if an item occurs
+//     in every transaction of a cover of size ≥ minsup it is itself
+//     frequent);
+//  2. recode the surviving items according to itemOrder;
+//  3. drop transactions that became empty;
+//  4. reorder transactions according to transOrder, ties broken by a
+//     lexicographic comparison on descending item codes (§3.4).
+//
+// minSupport values below 1 are treated as 1.
+func Prepare(db *Database, minSupport int, itemOrder ItemOrder, transOrder TransOrder) *Prepared {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	freq := db.ItemFrequencies()
+
+	// Collect surviving items and decide their new codes.
+	type itemFreq struct {
+		item itemset.Item
+		freq int
+	}
+	alive := make([]itemFreq, 0, db.Items)
+	for i, f := range freq {
+		if f >= minSupport {
+			alive = append(alive, itemFreq{itemset.Item(i), f})
+		}
+	}
+	switch itemOrder {
+	case OrderAscFreq:
+		sort.Slice(alive, func(a, b int) bool {
+			if alive[a].freq != alive[b].freq {
+				return alive[a].freq < alive[b].freq
+			}
+			return alive[a].item < alive[b].item
+		})
+	case OrderDescFreq:
+		sort.Slice(alive, func(a, b int) bool {
+			if alive[a].freq != alive[b].freq {
+				return alive[a].freq > alive[b].freq
+			}
+			return alive[a].item < alive[b].item
+		})
+	case OrderKeep:
+		// alive is already in ascending original-code order.
+	}
+
+	decode := make([]itemset.Item, len(alive))
+	newFreq := make([]int, len(alive))
+	encode := make([]itemset.Item, db.Items)
+	for i := range encode {
+		encode[i] = -1
+	}
+	for code, af := range alive {
+		decode[code] = af.item
+		newFreq[code] = af.freq
+		encode[af.item] = itemset.Item(code)
+	}
+
+	trans := make([]itemset.Set, 0, len(db.Trans))
+	for _, t := range db.Trans {
+		nt := make(itemset.Set, 0, len(t))
+		for _, i := range t {
+			if c := encode[i]; c >= 0 {
+				nt = append(nt, c)
+			}
+		}
+		if len(nt) == 0 {
+			continue
+		}
+		sort.Slice(nt, func(a, b int) bool { return nt[a] < nt[b] })
+		trans = append(trans, nt)
+	}
+
+	switch transOrder {
+	case OrderSizeAsc:
+		sort.SliceStable(trans, func(a, b int) bool {
+			if len(trans[a]) != len(trans[b]) {
+				return len(trans[a]) < len(trans[b])
+			}
+			return lexDescLess(trans[a], trans[b])
+		})
+	case OrderSizeDesc:
+		sort.SliceStable(trans, func(a, b int) bool {
+			if len(trans[a]) != len(trans[b]) {
+				return len(trans[a]) > len(trans[b])
+			}
+			return lexDescLess(trans[a], trans[b])
+		})
+	case OrderOriginal:
+		// keep input order
+	}
+
+	return &Prepared{
+		DB:               &Database{Items: len(alive), Trans: trans},
+		Decode:           decode,
+		Freq:             newFreq,
+		OrigTransactions: len(db.Trans),
+	}
+}
+
+// lexDescLess compares two transactions lexicographically on a descending
+// listing of their item codes (the paper uses "a lexicographical order of
+// the transactions based on a descending order of items in each
+// transaction").
+func lexDescLess(a, b itemset.Set) bool {
+	i, j := len(a)-1, len(b)-1
+	for i >= 0 && j >= 0 {
+		if a[i] != b[j] {
+			return a[i] < b[j]
+		}
+		i--
+		j--
+	}
+	return i < 0 && j >= 0
+}
+
+// DecodeSet maps a recoded item set back to original codes, in canonical
+// order.
+func (p *Prepared) DecodeSet(s itemset.Set) itemset.Set {
+	out := make(itemset.Set, len(s))
+	for i, c := range s {
+		out[i] = p.Decode[c]
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Vertical is the vertical database view: for each item, the ascending
+// list of indices of the transactions that contain it. The list-based
+// Carpenter variant and LCM consume it.
+type Vertical struct {
+	Items int
+	N     int // number of transactions
+	Tids  [][]int32
+}
+
+// ToVertical builds the vertical view of db.
+func (db *Database) ToVertical() *Vertical {
+	v := &Vertical{Items: db.Items, N: len(db.Trans)}
+	freq := db.ItemFrequencies()
+	v.Tids = make([][]int32, db.Items)
+	for i, f := range freq {
+		v.Tids[i] = make([]int32, 0, f)
+	}
+	for k, t := range db.Trans {
+		for _, i := range t {
+			v.Tids[i] = append(v.Tids[i], int32(k))
+		}
+	}
+	return v
+}
+
+// Matrix is the table representation of §3.1.2 (Table 1 of the paper):
+//
+//	M[k][i] = |{ j : k ≤ j < n, i ∈ t_j }|  if i ∈ t_k,
+//	M[k][i] = 0                             otherwise.
+//
+// The entry simultaneously answers membership (non-zero) and "how many
+// transactions from k on contain i" (the item-elimination counter).
+type Matrix struct {
+	Items int
+	N     int
+	M     [][]int32
+}
+
+// ToMatrix builds the table representation of db.
+func (db *Database) ToMatrix() *Matrix {
+	n := len(db.Trans)
+	m := &Matrix{Items: db.Items, N: n}
+	m.M = make([][]int32, n)
+	if n == 0 {
+		return m
+	}
+	flat := make([]int32, n*db.Items)
+	for k := range m.M {
+		m.M[k], flat = flat[:db.Items:db.Items], flat[db.Items:]
+	}
+	// Running counts of occurrences in t_k..t_{n-1}, filled back to front.
+	remain := make([]int32, db.Items)
+	for k := n - 1; k >= 0; k-- {
+		for _, i := range db.Trans[k] {
+			remain[i]++
+		}
+		row := m.M[k]
+		for _, i := range db.Trans[k] {
+			row[i] = remain[i]
+		}
+	}
+	return m
+}

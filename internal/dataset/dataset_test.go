@@ -1,0 +1,458 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+)
+
+// paperDB is the example transaction database from Table 1 of the paper,
+// with a=0, b=1, c=2, d=3, e=4.
+func paperDB() *Database {
+	return FromInts(
+		[]int{0, 1, 2},    // t1 = a b c
+		[]int{0, 3, 4},    // t2 = a d e
+		[]int{1, 2, 3},    // t3 = b c d
+		[]int{0, 1, 2, 3}, // t4 = a b c d
+		[]int{1, 2},       // t5 = b c
+		[]int{0, 1, 3},    // t6 = a b d
+		[]int{3, 4},       // t7 = d e
+		[]int{2, 3, 4},    // t8 = c d e
+	)
+}
+
+func TestNewUniverse(t *testing.T) {
+	db := FromInts([]int{0, 5}, []int{2})
+	if db.Items != 6 {
+		t.Fatalf("Items = %d, want 6", db.Items)
+	}
+	db2 := New([]itemset.Set{itemset.FromInts(1)}, 10)
+	if db2.Items != 10 {
+		t.Fatalf("Items = %d, want 10", db2.Items)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	db := paperDB()
+	if err := db.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bad := &Database{Items: 2, Trans: []itemset.Set{{0, 5}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected out-of-universe error")
+	}
+	bad2 := &Database{Items: 3, Trans: []itemset.Set{{2, 1}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected non-canonical error")
+	}
+	bad3 := &Database{Items: 3, Names: []string{"x"}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("expected names-length error")
+	}
+}
+
+func TestItemFrequencies(t *testing.T) {
+	got := paperDB().ItemFrequencies()
+	want := []int{4, 5, 5, 6, 3} // a,b,c,d,e per Table 1's first row counters
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("frequencies = %v, want %v", got, want)
+	}
+}
+
+// TestMatrixPaperTable1 reproduces Table 1 of the paper exactly.
+func TestMatrixPaperTable1(t *testing.T) {
+	m := paperDB().ToMatrix()
+	want := [][]int32{
+		{4, 5, 5, 0, 0},
+		{3, 0, 0, 6, 3},
+		{0, 4, 4, 5, 0},
+		{2, 3, 3, 4, 0},
+		{0, 2, 2, 0, 0},
+		{1, 1, 0, 3, 0},
+		{0, 0, 0, 2, 2},
+		{0, 0, 1, 1, 1},
+	}
+	if !reflect.DeepEqual(m.M, want) {
+		t.Fatalf("matrix =\n%v\nwant\n%v", m.M, want)
+	}
+}
+
+func TestMatrixEmpty(t *testing.T) {
+	m := (&Database{Items: 3}).ToMatrix()
+	if m.N != 0 || len(m.M) != 0 {
+		t.Fatal("empty database should give empty matrix")
+	}
+}
+
+func TestVertical(t *testing.T) {
+	v := paperDB().ToVertical()
+	want := [][]int32{
+		{0, 1, 3, 5},    // a
+		{0, 2, 3, 4, 5}, // b
+		{0, 2, 3, 4, 7}, // c
+		{1, 2, 3, 5, 6, 7},
+		{1, 6, 7},
+	}
+	if !reflect.DeepEqual(v.Tids, want) {
+		t.Fatalf("vertical = %v, want %v", v.Tids, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	db := FromInts([]int{0, 1}, []int{1, 2})
+	tr := db.Transpose()
+	if tr.Items != 2 {
+		t.Fatalf("transposed universe = %d", tr.Items)
+	}
+	want := []itemset.Set{
+		itemset.FromInts(0),
+		itemset.FromInts(0, 1),
+		itemset.FromInts(1),
+	}
+	if !reflect.DeepEqual(tr.Trans, want) {
+		t.Fatalf("transpose = %v, want %v", tr.Trans, want)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		db := randDB(rng, 12, 10, 0.4)
+		back := db.Transpose().Transpose()
+		// Transpose keeps empty rows, so transposing twice restores the
+		// database exactly (universe and all transactions).
+		if back.Items != db.Items {
+			t.Fatalf("universe changed: %d -> %d", db.Items, back.Items)
+		}
+		if len(back.Trans) != len(db.Trans) {
+			t.Fatalf("transpose² rows = %d, want %d", len(back.Trans), len(db.Trans))
+		}
+		for k := range db.Trans {
+			if !back.Trans[k].Equal(db.Trans[k]) {
+				t.Fatalf("transpose² row %d = %v, want %v", k, back.Trans[k], db.Trans[k])
+			}
+		}
+	}
+}
+
+func randDB(rng *rand.Rand, items, n int, density float64) *Database {
+	trans := make([]itemset.Set, n)
+	for k := range trans {
+		var t itemset.Set
+		for i := 0; i < items; i++ {
+			if rng.Float64() < density {
+				t = append(t, itemset.Item(i))
+			}
+		}
+		trans[k] = t
+	}
+	return New(trans, items)
+}
+
+func TestPrepareDropsInfrequent(t *testing.T) {
+	db := paperDB()
+	p := Prepare(db, 4, OrderAscFreq, OrderSizeAsc)
+	// e has frequency 3 < 4 and must vanish.
+	if p.DB.Items != 4 {
+		t.Fatalf("prepared universe = %d, want 4", p.DB.Items)
+	}
+	for _, orig := range p.Decode {
+		if orig == 4 {
+			t.Fatal("item e (4) should have been dropped")
+		}
+	}
+	// Ascending frequency: a(4) < b(5) = c(5) < d(6); ties by original code.
+	wantDecode := []itemset.Item{0, 1, 2, 3}
+	if !reflect.DeepEqual(p.Decode, wantDecode) {
+		t.Fatalf("decode = %v, want %v", p.Decode, wantDecode)
+	}
+	if !reflect.DeepEqual(p.Freq, []int{4, 5, 5, 6}) {
+		t.Fatalf("freq = %v", p.Freq)
+	}
+	if p.OrigTransactions != 8 {
+		t.Fatalf("OrigTransactions = %d", p.OrigTransactions)
+	}
+}
+
+func TestPrepareDropsEmptyTransactions(t *testing.T) {
+	db := FromInts([]int{0}, []int{1}, []int{0, 1}, []int{2})
+	p := Prepare(db, 2, OrderAscFreq, OrderSizeAsc)
+	// Item 2 is infrequent; its transaction becomes empty and is dropped.
+	if len(p.DB.Trans) != 3 {
+		t.Fatalf("transactions = %d, want 3", len(p.DB.Trans))
+	}
+	if p.OrigTransactions != 4 {
+		t.Fatalf("OrigTransactions = %d, want 4", p.OrigTransactions)
+	}
+}
+
+func TestPrepareTransactionOrder(t *testing.T) {
+	db := FromInts([]int{0, 1, 2}, []int{0}, []int{1, 2}, []int{0, 2})
+	p := Prepare(db, 1, OrderKeep, OrderSizeAsc)
+	lens := []int{}
+	for _, tr := range p.DB.Trans {
+		lens = append(lens, len(tr))
+	}
+	if !reflect.DeepEqual(lens, []int{1, 2, 2, 3}) {
+		t.Fatalf("lengths = %v", lens)
+	}
+	p = Prepare(db, 1, OrderKeep, OrderSizeDesc)
+	lens = lens[:0]
+	for _, tr := range p.DB.Trans {
+		lens = append(lens, len(tr))
+	}
+	if !reflect.DeepEqual(lens, []int{3, 2, 2, 1}) {
+		t.Fatalf("desc lengths = %v", lens)
+	}
+}
+
+func TestPrepareItemOrderAsc(t *testing.T) {
+	// freq: 0 -> 3, 1 -> 1, 2 -> 2
+	db := FromInts([]int{0}, []int{0, 2}, []int{0, 1, 2})
+	p := Prepare(db, 1, OrderAscFreq, OrderOriginal)
+	// rarest first: item 1 (freq 1) -> code 0, item 2 -> code 1, item 0 -> 2.
+	want := []itemset.Item{1, 2, 0}
+	if !reflect.DeepEqual(p.Decode, want) {
+		t.Fatalf("decode = %v, want %v", p.Decode, want)
+	}
+	// Transactions recoded and kept canonical.
+	if !p.DB.Trans[2].Equal(itemset.FromInts(0, 1, 2)) {
+		t.Fatalf("recoded transaction = %v", p.DB.Trans[2])
+	}
+	if !p.DB.Trans[1].Equal(itemset.FromInts(1, 2)) {
+		t.Fatalf("recoded transaction = %v", p.DB.Trans[1])
+	}
+}
+
+func TestPrepareItemOrderDesc(t *testing.T) {
+	db := FromInts([]int{0}, []int{0, 2}, []int{0, 1, 2})
+	p := Prepare(db, 1, OrderDescFreq, OrderOriginal)
+	want := []itemset.Item{0, 2, 1}
+	if !reflect.DeepEqual(p.Decode, want) {
+		t.Fatalf("decode = %v, want %v", p.Decode, want)
+	}
+}
+
+func TestDecodeSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		db := randDB(rng, 15, 12, 0.35)
+		p := Prepare(db, 2, OrderAscFreq, OrderSizeAsc)
+		for _, tr := range p.DB.Trans {
+			dec := p.DecodeSet(tr)
+			if !dec.IsCanonical() {
+				t.Fatalf("decoded set not canonical: %v", dec)
+			}
+			if len(dec) != len(tr) {
+				t.Fatalf("decode changed length")
+			}
+			// Every decoded transaction must be a subset of some original.
+			found := false
+			for _, orig := range db.Trans {
+				if dec.SubsetOf(orig) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("decoded transaction %v not a subset of any original", dec)
+			}
+		}
+	}
+}
+
+func TestPrepareMinSupportBelowOne(t *testing.T) {
+	db := paperDB()
+	a := Prepare(db, 0, OrderKeep, OrderOriginal)
+	b := Prepare(db, 1, OrderKeep, OrderOriginal)
+	if !reflect.DeepEqual(a.DB.Trans, b.DB.Trans) {
+		t.Fatal("minsup 0 should behave like 1")
+	}
+}
+
+func TestLexDescLess(t *testing.T) {
+	// With descending item listings: {d,c} vs {d,b}: d==d, then c>b so
+	// {d,b} < {d,c}.
+	a := itemset.FromInts(1, 3) // listed desc: 3,1
+	b := itemset.FromInts(2, 3) // listed desc: 3,2
+	if !lexDescLess(a, b) {
+		t.Error("{3,1} should come before {3,2}")
+	}
+	if lexDescLess(b, a) {
+		t.Error("comparison should be asymmetric")
+	}
+	if lexDescLess(a, a) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := paperDB().Stats()
+	if s.Transactions != 8 || s.Items != 5 || s.UsedItems != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinLen != 2 || s.MaxLen != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.AvgLen < 2.87 || s.AvgLen > 2.88 {
+		t.Fatalf("avg = %v", s.AvgLen)
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("String = %q", s.String())
+	}
+	empty := (&Database{Items: 3}).Stats()
+	if empty.Transactions != 0 {
+		t.Fatal("empty stats")
+	}
+}
+
+func TestReadNumeric(t *testing.T) {
+	in := "1 5 3\n\n2 2 4\n# comment\n0\n"
+	db, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Items != 6 {
+		t.Fatalf("Items = %d", db.Items)
+	}
+	want := []itemset.Set{
+		itemset.FromInts(1, 3, 5),
+		{},
+		itemset.FromInts(2, 4), // duplicate item collapsed
+		itemset.FromInts(0),
+	}
+	if !reflect.DeepEqual(db.Trans, want) {
+		t.Fatalf("trans = %v, want %v", db.Trans, want)
+	}
+}
+
+func TestReadNamed(t *testing.T) {
+	in := "bread milk\nmilk butter\n"
+	db, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Items != 3 || len(db.Names) != 3 {
+		t.Fatalf("Items = %d Names = %v", db.Items, db.Names)
+	}
+	if db.Names[0] != "bread" || db.Names[1] != "milk" || db.Names[2] != "butter" {
+		t.Fatalf("Names = %v", db.Names)
+	}
+}
+
+func TestReadRejectsNegative(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 -2\n")); err == nil {
+		t.Fatal("expected error for negative item")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		db := randDB(rng, 20, 15, 0.3)
+		var sb strings.Builder
+		if err := Write(&sb, db); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Trans) != len(db.Trans) {
+			t.Fatalf("rows %d != %d", len(back.Trans), len(db.Trans))
+		}
+		for k := range db.Trans {
+			if !back.Trans[k].Equal(db.Trans[k]) {
+				t.Fatalf("row %d: %v != %v", k, back.Trans[k], db.Trans[k])
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/db.dat"
+	db := paperDB()
+	if err := WriteFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Trans) != 8 {
+		t.Fatalf("rows = %d", len(back.Trans))
+	}
+	if _, err := ReadFile(dir + "/missing.dat"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	db := paperDB()
+	c := db.Clone()
+	c.Trans[0][0] = 4
+	if db.Trans[0][0] != 0 {
+		t.Fatal("Clone shares transaction storage")
+	}
+}
+
+func TestQuickMatrixDefinition(t *testing.T) {
+	// Property: the matrix entries satisfy their defining equation.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randDB(rng, 8, 9, 0.4)
+		m := db.ToMatrix()
+		for k := 0; k < m.N; k++ {
+			for i := 0; i < db.Items; i++ {
+				want := int32(0)
+				if db.Trans[k].Contains(itemset.Item(i)) {
+					for j := k; j < m.N; j++ {
+						if db.Trans[j].Contains(itemset.Item(i)) {
+							want++
+						}
+					}
+				}
+				if m.M[k][i] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVerticalDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randDB(rng, 10, 12, 0.35)
+		v := db.ToVertical()
+		for i := 0; i < db.Items; i++ {
+			var want []int32
+			for k, tr := range db.Trans {
+				if tr.Contains(itemset.Item(i)) {
+					want = append(want, int32(k))
+				}
+			}
+			if len(want) != len(v.Tids[i]) {
+				return false
+			}
+			for j := range want {
+				if want[j] != v.Tids[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

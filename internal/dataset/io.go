@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/itemset"
+)
+
+// Read parses a database in the FIMI workshop format used by the
+// implementations the paper benchmarks against: one transaction per line,
+// whitespace-separated item tokens. Numeric tokens become item codes
+// directly; if any token is non-numeric, all tokens are treated as names
+// and mapped to dense codes in first-appearance order (the mapping is
+// recorded in Names). Empty lines are kept as empty transactions, matching
+// the paper's support semantics; lines starting with '#' are comments.
+func Read(r io.Reader) (*Database, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+
+	var rawLines [][]string
+	numeric := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		rawLines = append(rawLines, fields)
+		for _, f := range fields {
+			if _, err := strconv.Atoi(f); err != nil {
+				numeric = false
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+
+	db := &Database{}
+	if numeric {
+		for ln, fields := range rawLines {
+			t := make(itemset.Set, 0, len(fields))
+			for _, f := range fields {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: %w", ln+1, err)
+				}
+				if v < 0 {
+					return nil, fmt.Errorf("dataset: line %d: negative item %d", ln+1, v)
+				}
+				t = append(t, itemset.Item(v))
+			}
+			sort.Slice(t, func(a, b int) bool { return t[a] < t[b] })
+			db.Trans = append(db.Trans, dedup(t))
+		}
+		for _, t := range db.Trans {
+			if len(t) > 0 {
+				if top := int(t[len(t)-1]) + 1; top > db.Items {
+					db.Items = top
+				}
+			}
+		}
+		return db, nil
+	}
+
+	codes := map[string]itemset.Item{}
+	for _, fields := range rawLines {
+		t := make(itemset.Set, 0, len(fields))
+		for _, f := range fields {
+			c, ok := codes[f]
+			if !ok {
+				c = itemset.Item(len(codes))
+				codes[f] = c
+				db.Names = append(db.Names, f)
+			}
+			t = append(t, c)
+		}
+		sort.Slice(t, func(a, b int) bool { return t[a] < t[b] })
+		db.Trans = append(db.Trans, dedup(t))
+	}
+	db.Items = len(codes)
+	return db, nil
+}
+
+func dedup(t itemset.Set) itemset.Set {
+	if len(t) < 2 {
+		return t
+	}
+	w := 1
+	for r := 1; r < len(t); r++ {
+		if t[r] != t[w-1] {
+			t[w] = t[r]
+			w++
+		}
+	}
+	return t[:w]
+}
+
+// Write renders db in the FIMI format accepted by Read. If db.Names is
+// non-nil the names are written instead of codes.
+func Write(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range db.Trans {
+		for i, it := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			var tok string
+			if db.Names != nil {
+				tok = db.Names[it]
+			} else {
+				tok = strconv.Itoa(int(it))
+			}
+			if _, err := bw.WriteString(tok); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile loads a FIMI-format database from a file.
+func ReadFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}
+
+// WriteFile saves db to a file in FIMI format.
+func WriteFile(path string, db *Database) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

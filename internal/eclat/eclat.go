@@ -1,0 +1,190 @@
+// Package eclat implements the Eclat algorithm (Zaki et al.): depth-first
+// search over the item set lattice with a vertical database representation
+// in which every search node carries the transaction id set of its prefix,
+// and extensions are found by intersecting tid sets. Besides the classic
+// "all frequent item sets" target it offers closed and maximal targets;
+// the closed target uses the same closure-candidate + repository scheme as
+// FP-close (package fpgrowth), adapted to Eclat's ascending processing
+// order.
+package eclat
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/result"
+)
+
+// Target selects what Mine reports.
+type Target int
+
+const (
+	// All reports every frequent item set.
+	All Target = iota
+	// Closed reports the closed frequent item sets.
+	Closed
+	// Maximal reports the maximal frequent item sets.
+	Maximal
+)
+
+// Options configures the miner.
+type Options struct {
+	// MinSupport is the absolute minimum support; values < 1 act as 1.
+	MinSupport int
+	// Target selects all (default), closed, or maximal sets.
+	Target Target
+	// Done optionally cancels the run.
+	Done <-chan struct{}
+}
+
+// ext is one extension candidate at a search node: an item and the tid
+// set of prefix ∪ {item}.
+type ext struct {
+	item itemset.Item
+	tids []int32
+}
+
+// Mine runs Eclat on db, reporting patterns in original item codes.
+func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	minsup := opts.MinSupport
+	if minsup < 1 {
+		minsup = 1
+	}
+	prep := dataset.Prepare(db, minsup, dataset.OrderAscFreq, dataset.OrderOriginal)
+	pdb := prep.DB
+	if pdb.Items == 0 {
+		return nil
+	}
+
+	m := &eclatMiner{
+		minsup: minsup,
+		target: opts.Target,
+		prep:   prep,
+		rep:    rep,
+		ctl:    mining.NewControl(opts.Done),
+	}
+	if opts.Target == Maximal {
+		// Mine closed sets into a buffer and post-filter: the maximal
+		// frequent sets are the closed sets without closed proper
+		// supersets.
+		m.target = Closed
+		var buf result.Set
+		m.rep = buf.Collect()
+		if err := m.run(pdb); err != nil {
+			return err
+		}
+		maximal := result.FilterMaximal(&buf)
+		for _, p := range maximal.Patterns {
+			rep.Report(p.Items, p.Support)
+		}
+		return nil
+	}
+	return m.run(pdb)
+}
+
+type eclatMiner struct {
+	minsup int
+	target Target
+	prep   *dataset.Prepared
+	rep    result.Reporter
+	ctl    *mining.Control
+	cfi    result.CFITree
+}
+
+func (m *eclatMiner) run(pdb *dataset.Database) error {
+	vert := pdb.ToVertical()
+	root := make([]ext, 0, pdb.Items)
+	for i := 0; i < pdb.Items; i++ {
+		// Prepare already removed infrequent items.
+		root = append(root, ext{item: itemset.Item(i), tids: vert.Tids[i]})
+	}
+	prefix := make(itemset.Set, 0, 32)
+	return m.mine(prefix, root)
+}
+
+// mine processes one search node: prefix with the frequent extensions
+// exts (each carrying the tid set of prefix ∪ {item}).
+func (m *eclatMiner) mine(prefix itemset.Set, exts []ext) error {
+	for idx, e := range exts {
+		if err := m.ctl.Tick(); err != nil {
+			return err
+		}
+		supp := len(e.tids)
+
+		// Intersect with the remaining extensions.
+		var next []ext
+		var perfect itemset.Set
+		for _, f := range exts[idx+1:] {
+			shared := intersectTids(e.tids, f.tids)
+			if len(shared) < m.minsup {
+				continue
+			}
+			if m.target == Closed && len(shared) == supp {
+				// f.item is a perfect extension of prefix ∪ {e.item}:
+				// absorb it into the closure candidate instead of
+				// enumerating both halves of the split (§2.2).
+				perfect = append(perfect, f.item)
+				continue
+			}
+			next = append(next, ext{item: f.item, tids: shared})
+		}
+
+		switch m.target {
+		case All:
+			m.emit(append(prefix, e.item), supp)
+			if len(next) > 0 {
+				if err := m.mine(append(prefix, e.item), next); err != nil {
+					return err
+				}
+			}
+		case Closed:
+			cand := make(itemset.Set, 0, len(prefix)+1+len(perfect))
+			cand = append(cand, prefix...)
+			cand = append(cand, e.item)
+			cand = append(cand, perfect...)
+			canon := itemset.New(cand...)
+			if m.cfi.Subsumed(canon, supp) {
+				// A previously found closed superset with equal support
+				// exists; this branch cannot contain closed sets.
+				continue
+			}
+			m.cfi.Insert(canon, supp)
+			m.emit(canon, supp)
+			if len(next) > 0 {
+				if err := m.mine(canon.Clone(), next); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *eclatMiner) emit(items itemset.Set, supp int) {
+	m.rep.Report(m.prep.DecodeSet(items), supp)
+}
+
+func intersectTids(a, b []int32) []int32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]int32, 0, n)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

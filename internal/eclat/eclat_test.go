@@ -1,0 +1,158 @@
+package eclat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/naive"
+	"repro/internal/result"
+)
+
+func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
+	trans := make([]itemset.Set, n)
+	for k := range trans {
+		var t itemset.Set
+		for i := 0; i < items; i++ {
+			if rng.Float64() < density {
+				t = append(t, itemset.Item(i))
+			}
+		}
+		trans[k] = t
+	}
+	return dataset.New(trans, items)
+}
+
+func bruteAllFrequent(db *dataset.Database, minsup int) *result.Set {
+	var out result.Set
+	items := make(itemset.Set, 0, db.Items)
+	for mask := 1; mask < 1<<uint(db.Items); mask++ {
+		items = items[:0]
+		for i := 0; i < db.Items; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				items = append(items, itemset.Item(i))
+			}
+		}
+		if supp := result.Support(db, items); supp >= minsup {
+			out.Add(items, supp)
+		}
+	}
+	return &out
+}
+
+func TestAllMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 60; trial++ {
+		items := 2 + rng.Intn(7)
+		n := 1 + rng.Intn(10)
+		db := randDB(rng, items, n, 0.2+rng.Float64()*0.5)
+		for _, minsup := range []int{1, 2} {
+			want := bruteAllFrequent(db, minsup)
+			var got result.Set
+			if err := Mine(db, Options{MinSupport: minsup, Target: All}, got.Collect()); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("eclat(all) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+func TestClosedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	for trial := 0; trial < 120; trial++ {
+		items := 2 + rng.Intn(10)
+		n := 1 + rng.Intn(14)
+		db := randDB(rng, items, n, 0.1+rng.Float64()*0.6)
+		for _, minsup := range []int{1, 2, 3, n/2 + 1} {
+			want, err := naive.ClosedByTransactionSubsets(db, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got result.Set
+			if err := Mine(db, Options{MinSupport: minsup, Target: Closed}, got.Collect()); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("eclat(closed) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+// bruteMaximal derives the maximal frequent sets from the closed oracle.
+func bruteMaximal(db *dataset.Database, minsup int) (*result.Set, error) {
+	closed, err := naive.ClosedByTransactionSubsets(db, minsup)
+	if err != nil {
+		return nil, err
+	}
+	return result.FilterMaximal(closed), nil
+}
+
+func TestMaximal(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	for trial := 0; trial < 60; trial++ {
+		items := 2 + rng.Intn(8)
+		n := 1 + rng.Intn(12)
+		db := randDB(rng, items, n, 0.2+rng.Float64()*0.5)
+		minsup := 1 + rng.Intn(3)
+		want, err := bruteMaximal(db, minsup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got result.Set
+		if err := Mine(db, Options{MinSupport: minsup, Target: Maximal}, got.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("eclat(maximal) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+		}
+		// Semantic spot check: no reported set is a subset of another.
+		for i := range got.Patterns {
+			for j := range got.Patterns {
+				if i != j && got.Patterns[i].Items.SubsetOf(got.Patterns[j].Items) {
+					t.Fatalf("maximal output contains nested sets: %v ⊆ %v",
+						got.Patterns[i].Items, got.Patterns[j].Items)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeCasesAndCancel(t *testing.T) {
+	var got result.Set
+	if err := Mine(&dataset.Database{Items: 2}, Options{MinSupport: 1}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatal("empty db")
+	}
+
+	bad := &dataset.Database{Items: 1, Trans: []itemset.Set{{3}}}
+	if err := Mine(bad, Options{MinSupport: 1}, &result.Counter{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+
+	done := make(chan struct{})
+	close(done)
+	db := randDB(rand.New(rand.NewSource(11)), 40, 150, 0.4)
+	err := Mine(db, Options{MinSupport: 2, Done: done}, &result.Counter{})
+	if err != mining.ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestIntersectTids(t *testing.T) {
+	a := []int32{1, 3, 5, 7}
+	b := []int32{2, 3, 6, 7, 9}
+	got := intersectTids(a, b)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("intersectTids = %v", got)
+	}
+	if out := intersectTids(a, nil); len(out) != 0 {
+		t.Fatalf("intersect with empty = %v", out)
+	}
+}

@@ -1,0 +1,438 @@
+// Package gendata generates the synthetic workloads that stand in for the
+// paper's four evaluation data sets (baker's yeast compendium, NCBI60,
+// thrombin, transposed BMS-WebView-1), which are not redistributable. Each
+// generator is deterministic given its seed and is shaped to the regime
+// that drives the paper's results: few transactions, very many items, with
+// co-occurrence structure that makes the number of closed sets explode as
+// the minimum support drops. See DESIGN.md §3 for the substitution
+// rationale.
+package gendata
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// ExpressionConfig describes a synthetic gene expression experiment: a
+// genes × conditions matrix of log expression ratios with co-regulated
+// gene modules responding to groups of conditions, over Gaussian
+// background noise. This mirrors the structure of compendium data such as
+// Hughes et al. (the paper's yeast data set).
+type ExpressionConfig struct {
+	Genes      int
+	Conditions int
+	// Modules is the number of co-regulated gene modules.
+	Modules int
+	// ModuleGeneFrac is the fraction of genes assigned to modules.
+	ModuleGeneFrac float64
+	// ModuleCondFrac is the fraction of conditions a module responds to.
+	ModuleCondFrac float64
+	// Effect is the mean absolute log-ratio shift of a responding
+	// module gene (sign chosen per module×condition).
+	Effect float64
+	// Noise is the standard deviation of the background log ratios.
+	Noise float64
+	// ResponseProb is the probability that a module gene responds to a
+	// given module condition (0 defaults to 0.85). High values make the
+	// module items frequent in almost every responding condition.
+	ResponseProb float64
+	// DirectionPerGene makes each module gene shift in one consistent
+	// direction across all module conditions (instead of a random
+	// direction per condition): the resulting items become frequent
+	// across most transactions, the regime of the NCBI60 sweep.
+	DirectionPerGene bool
+	Seed             int64
+}
+
+// Matrix is a dense genes × conditions matrix of log expression ratios.
+type Matrix struct {
+	Genes      int
+	Conditions int
+	v          []float64 // row-major: gene * Conditions + condition
+}
+
+// At returns the log ratio of gene g under condition c.
+func (m *Matrix) At(g, c int) float64 { return m.v[g*m.Conditions+c] }
+
+// Expression generates the synthetic expression matrix.
+func Expression(cfg ExpressionConfig) *Matrix {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Matrix{
+		Genes:      cfg.Genes,
+		Conditions: cfg.Conditions,
+		v:          make([]float64, cfg.Genes*cfg.Conditions),
+	}
+	// Background noise.
+	for i := range m.v {
+		m.v[i] = rng.NormFloat64() * cfg.Noise
+	}
+	if cfg.Modules <= 0 {
+		return m
+	}
+	moduleGenes := int(float64(cfg.Genes) * cfg.ModuleGeneFrac)
+	perModule := moduleGenes / cfg.Modules
+	if perModule == 0 {
+		perModule = 1
+	}
+	respond := cfg.ResponseProb
+	if respond == 0 {
+		respond = 0.85
+	}
+	gene := 0
+	for mod := 0; mod < cfg.Modules && gene < cfg.Genes; mod++ {
+		// Conditions this module responds to, with a per-(module,
+		// condition) direction so both over- and under-expression items
+		// appear.
+		nCond := int(float64(cfg.Conditions) * cfg.ModuleCondFrac)
+		if nCond < 1 {
+			nCond = 1
+		}
+		conds := rng.Perm(cfg.Conditions)[:nCond]
+		dirs := make([]float64, nCond)
+		for i := range dirs {
+			if rng.Intn(2) == 0 {
+				dirs[i] = 1
+			} else {
+				dirs[i] = -1
+			}
+		}
+		for g := 0; g < perModule && gene < cfg.Genes; g++ {
+			geneDir := dirs[rng.Intn(len(dirs))]
+			for i, c := range conds {
+				// Each module gene responds to most (not all) module
+				// conditions, so intersections of condition sets vary.
+				if rng.Float64() < respond {
+					dir := dirs[i]
+					if cfg.DirectionPerGene {
+						dir = geneDir
+					}
+					m.v[gene*cfg.Conditions+c] += dir * cfg.Effect * (0.7 + 0.6*rng.Float64())
+				}
+			}
+			gene++
+		}
+	}
+	return m
+}
+
+// Orientation selects how a discretized expression matrix becomes a
+// transaction database (§4 of the paper discusses both).
+type Orientation int
+
+const (
+	// GenesAsTransactions: one transaction per gene, items are
+	// (condition, polarity) pairs — many transactions, few items.
+	GenesAsTransactions Orientation = iota
+	// ConditionsAsTransactions: one transaction per condition, items are
+	// (gene, polarity) pairs — few transactions, very many items. This is
+	// the regime the intersection algorithms target.
+	ConditionsAsTransactions
+)
+
+// Discretize converts the matrix into a Boolean transaction database using
+// the paper's thresholds: values > hi are "over-expressed", values < -lo
+// are "under-expressed" (the paper uses hi = lo = 0.2), everything in
+// between is neither. Item code 2*x encodes "x over-expressed" and 2*x+1
+// encodes "x under-expressed", where x is a condition or a gene depending
+// on the orientation.
+func Discretize(m *Matrix, hi, lo float64, orient Orientation) *dataset.Database {
+	if orient == GenesAsTransactions {
+		trans := make([]itemset.Set, m.Genes)
+		for g := 0; g < m.Genes; g++ {
+			var t itemset.Set
+			for c := 0; c < m.Conditions; c++ {
+				switch v := m.At(g, c); {
+				case v > hi:
+					t = append(t, itemset.Item(2*c))
+				case v < -lo:
+					t = append(t, itemset.Item(2*c+1))
+				}
+			}
+			trans[g] = t
+		}
+		return dataset.New(trans, 2*m.Conditions)
+	}
+	trans := make([]itemset.Set, m.Conditions)
+	for c := 0; c < m.Conditions; c++ {
+		var t itemset.Set
+		for g := 0; g < m.Genes; g++ {
+			switch v := m.At(g, c); {
+			case v > hi:
+				t = append(t, itemset.Item(2*g))
+			case v < -lo:
+				t = append(t, itemset.Item(2*g+1))
+			}
+		}
+		trans[c] = t
+	}
+	return dataset.New(trans, 2*m.Genes)
+}
+
+// Yeast builds the stand-in for the baker's yeast compendium in the mined
+// orientation of Figure 5: few transactions (conditions), very many items
+// (gene/polarity pairs). scale ≈ 1 gives roughly the paper's shape
+// (300 × ~12000); the bench harness uses a smaller scale by default.
+func Yeast(scale float64, seed int64) *dataset.Database {
+	// Genes scale linearly, conditions (= transactions) with the square
+	// root, so that scaled-down workloads keep a realistic transaction
+	// count (the paper's regime depends on n more than on |B|).
+	genes := int(6316 * scale)
+	conds := int(300 * math.Sqrt(scale))
+	if conds < 8 {
+		conds = 8
+	}
+	if genes < 50 {
+		genes = 50
+	}
+	m := Expression(ExpressionConfig{
+		Genes:          genes,
+		Conditions:     conds,
+		Modules:        18,
+		ModuleGeneFrac: 0.65,
+		ModuleCondFrac: 0.28,
+		Effect:         0.45,
+		Noise:          0.16,
+		Seed:           seed,
+	})
+	return Discretize(m, 0.2, 0.2, ConditionsAsTransactions)
+}
+
+// NCBI60 builds the stand-in for the NCBI60 cancer cell line data set of
+// Figure 6: ~60 transactions with dense common structure, mined at
+// supports close to the transaction count.
+func NCBI60(scale float64, seed int64) *dataset.Database {
+	genes := int(4000 * scale)
+	if genes < 50 {
+		genes = 50
+	}
+	m := Expression(ExpressionConfig{
+		Genes:            genes,
+		Conditions:       60,
+		Modules:          10,
+		ModuleGeneFrac:   0.8,
+		ModuleCondFrac:   0.97, // broad modules: items frequent in most lines
+		Effect:           0.5,
+		Noise:            0.22,
+		ResponseProb:     0.92,
+		DirectionPerGene: true,
+		Seed:             seed,
+	})
+	return Discretize(m, 0.2, 0.2, ConditionsAsTransactions)
+}
+
+// Thrombin builds the stand-in for the KDD Cup 2001 thrombin subset of
+// Figure 7: 64 transactions over a very wide sparse binary feature space
+// with correlated feature blocks. scale ≈ 1 gives 139,351 features like
+// the paper; the default bench scale is much smaller.
+func Thrombin(scale float64, seed int64) *dataset.Database {
+	features := int(139351 * scale)
+	if features < 200 {
+		features = 200
+	}
+	const n = 64
+	rng := rand.New(rand.NewSource(seed))
+
+	// 30% of the features form blocks of ~40 that co-activate; block
+	// activity is drawn from a mixture so that feature frequencies span
+	// the support range of the Figure 7 sweep (some features occur in
+	// most molecules, some in few). When a block is active, each of its
+	// features is present with probability 0.85. The remaining features
+	// are independent sparse noise (the vast majority of the 139,351
+	// thrombin features are rare).
+	blockFeatures := features * 30 / 100
+	blockSize := 40
+	nBlocks := blockFeatures / blockSize
+	activity := make([]float64, nBlocks)
+	for b := range activity {
+		switch rng.Intn(10) {
+		case 0:
+			activity[b] = 0.80
+		case 1, 2:
+			activity[b] = 0.60
+		case 3, 4, 5:
+			activity[b] = 0.40
+		default:
+			activity[b] = 0.20
+		}
+	}
+	trans := make([]itemset.Set, n)
+	for k := 0; k < n; k++ {
+		var t itemset.Set
+		f := 0
+		for b := 0; b < nBlocks; b++ {
+			active := rng.Float64() < activity[b]
+			for j := 0; j < blockSize; j++ {
+				if active && rng.Float64() < 0.85 {
+					t = append(t, itemset.Item(f))
+				}
+				f++
+			}
+		}
+		for ; f < features; f++ {
+			if rng.Float64() < 0.004 {
+				t = append(t, itemset.Item(f))
+			}
+		}
+		trans[k] = t
+	}
+	return dataset.New(trans, features)
+}
+
+// WebView builds the stand-in for the transposed BMS-WebView-1 data set of
+// Figure 8: a power-law clickstream (many short transactions over few
+// pages) transposed so that pages become the transactions and the many
+// original transactions become items. scale ≈ 1 approximates the paper's
+// 497 × 59,602 shape.
+func WebView(scale float64, seed int64) *dataset.Database {
+	// Pages (= transactions after transposition) scale with the square
+	// root so scaled-down workloads keep a realistic transaction count.
+	pages := int(497 * math.Sqrt(scale))
+	clicks := int(59602 * scale)
+	if pages < 30 {
+		pages = 30
+	}
+	if clicks < 500 {
+		clicks = 500
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Mixture of browsing behaviours, as in real click streams:
+	// mostly short Zipf-popularity sessions (the BMS-WebView-1 average
+	// session length is ≈ 2.5), plus a heavy tail of long sessions that
+	// browse within a "topic" — a pool of related pages. After
+	// transposition the long topic sessions are the frequent items, and
+	// their varied page subsets give the rich lattice of intersections
+	// that makes the closed-set count explode at low support.
+	zipf := rand.NewZipf(rng, 1.25, 4, uint64(pages-1))
+	nTopics := pages / 25
+	if nTopics < 1 {
+		nTopics = 1
+	}
+	topics := make([][]int, nTopics)
+	for i := range topics {
+		pool := rng.Perm(pages)[:30]
+		topics[i] = pool
+	}
+	trans := make([]itemset.Set, clicks)
+	for k := range trans {
+		var t itemset.Set
+		if rng.Float64() < 0.25 {
+			// Topic session with a heavy-tailed length.
+			topic := topics[rng.Intn(nTopics)]
+			length := 4 + rng.Intn(14)
+			if rng.Float64() < 0.2 {
+				length += rng.Intn(12)
+			}
+			for j := 0; j < length; j++ {
+				t = append(t, itemset.Item(topic[rng.Intn(len(topic))]))
+			}
+		} else {
+			length := 1
+			for rng.Float64() < 0.55 && length < 12 {
+				length++
+			}
+			for j := 0; j < length; j++ {
+				t = append(t, itemset.Item(int(zipf.Uint64())))
+			}
+		}
+		trans[k] = itemset.New(t...)
+	}
+	db := dataset.New(trans, pages)
+	return db.Transpose()
+}
+
+// QuestConfig parameterises the market-basket generator in the spirit of
+// the IBM Quest synthetic data generator (used by the classic FIMI
+// benchmarks the paper contrasts with: many transactions, few items).
+type QuestConfig struct {
+	Items        int
+	Transactions int
+	// AvgLen is the average transaction length.
+	AvgLen int
+	// Patterns is the number of potentially frequent base patterns.
+	Patterns int
+	// AvgPatternLen is the average base pattern length.
+	AvgPatternLen int
+	// Bundles adds that many product bundles: ordered item pairs (a, b)
+	// where b is always bought together with a. Bundles make some
+	// frequent sets non-closed (any set containing a but not b has a
+	// perfect extension), which is what separates "all" from "closed"
+	// output on basket data.
+	Bundles int
+	Seed    int64
+}
+
+// Quest generates a market-basket style database: transactions are built
+// from randomly chosen, partially corrupted base patterns.
+func Quest(cfg QuestConfig) *dataset.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Patterns < 1 {
+		cfg.Patterns = 1
+	}
+	patterns := make([]itemset.Set, cfg.Patterns)
+	for i := range patterns {
+		ln := 1 + rng.Intn(2*cfg.AvgPatternLen)
+		var p itemset.Set
+		for j := 0; j < ln; j++ {
+			p = append(p, itemset.Item(rng.Intn(cfg.Items)))
+		}
+		patterns[i] = itemset.New(p...)
+	}
+	// Pattern popularity is skewed, as in Quest.
+	weights := make([]float64, cfg.Patterns)
+	total := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(rng.Float64(), 2)
+		total += weights[i]
+	}
+
+	pick := func() itemset.Set {
+		r := rng.Float64() * total
+		for i, w := range weights {
+			if r -= w; r <= 0 {
+				return patterns[i]
+			}
+		}
+		return patterns[len(patterns)-1]
+	}
+
+	// Bundle map: bundle[a] = b means b accompanies a in every basket.
+	bundle := make(map[itemset.Item]itemset.Item)
+	for i := 0; i < cfg.Bundles; i++ {
+		a := itemset.Item(rng.Intn(cfg.Items))
+		b := itemset.Item(rng.Intn(cfg.Items))
+		if a != b {
+			bundle[a] = b
+		}
+	}
+
+	trans := make([]itemset.Set, cfg.Transactions)
+	for k := range trans {
+		var t itemset.Set
+		for len(t) < cfg.AvgLen {
+			p := pick()
+			for _, it := range p {
+				// Corruption: drop pattern items occasionally.
+				if rng.Float64() < 0.85 {
+					t = append(t, it)
+				}
+			}
+			if rng.Float64() < 0.4 {
+				break
+			}
+		}
+		if len(t) == 0 {
+			t = append(t, itemset.Item(rng.Intn(cfg.Items)))
+		}
+		for _, it := range t {
+			if b, ok := bundle[it]; ok {
+				t = append(t, b)
+			}
+		}
+		trans[k] = itemset.New(t...)
+	}
+	return dataset.New(trans, cfg.Items)
+}

@@ -1,0 +1,231 @@
+package gendata
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func TestExpressionDeterministic(t *testing.T) {
+	cfg := ExpressionConfig{
+		Genes: 50, Conditions: 20, Modules: 3,
+		ModuleGeneFrac: 0.5, ModuleCondFrac: 0.3,
+		Effect: 0.5, Noise: 0.15, Seed: 42,
+	}
+	a := Expression(cfg)
+	b := Expression(cfg)
+	if !reflect.DeepEqual(a.v, b.v) {
+		t.Fatal("same seed must give identical matrices")
+	}
+	cfg.Seed = 43
+	c := Expression(cfg)
+	if reflect.DeepEqual(a.v, c.v) {
+		t.Fatal("different seed should change the matrix")
+	}
+}
+
+func TestExpressionModulesRaiseSignal(t *testing.T) {
+	base := ExpressionConfig{Genes: 200, Conditions: 40, Noise: 0.1, Seed: 7}
+	noMod := Expression(base)
+	withMod := base
+	withMod.Modules = 5
+	withMod.ModuleGeneFrac = 0.8
+	withMod.ModuleCondFrac = 0.4
+	withMod.Effect = 0.6
+	mod := Expression(withMod)
+	big := func(m *Matrix) int {
+		n := 0
+		for _, v := range m.v {
+			if v > 0.2 || v < -0.2 {
+				n++
+			}
+		}
+		return n
+	}
+	if big(mod) <= big(noMod) {
+		t.Fatal("modules should add over/under-expressed entries")
+	}
+}
+
+func TestDiscretizeOrientations(t *testing.T) {
+	m := &Matrix{Genes: 2, Conditions: 3, v: []float64{
+		0.5, -0.5, 0.0,
+		0.0, 0.3, -0.25,
+	}}
+	byGene := Discretize(m, 0.2, 0.2, GenesAsTransactions)
+	if len(byGene.Trans) != 2 || byGene.Items != 6 {
+		t.Fatalf("byGene shape: %d × %d", len(byGene.Trans), byGene.Items)
+	}
+	// Gene 0: cond 0 over (item 0), cond 1 under (item 3).
+	if !byGene.Trans[0].Equal(itemset.FromInts(0, 3)) {
+		t.Fatalf("gene 0 = %v", byGene.Trans[0])
+	}
+	// Gene 1: cond 1 over (item 2), cond 2 under (item 5).
+	if !byGene.Trans[1].Equal(itemset.FromInts(2, 5)) {
+		t.Fatalf("gene 1 = %v", byGene.Trans[1])
+	}
+
+	byCond := Discretize(m, 0.2, 0.2, ConditionsAsTransactions)
+	if len(byCond.Trans) != 3 || byCond.Items != 4 {
+		t.Fatalf("byCond shape: %d × %d", len(byCond.Trans), byCond.Items)
+	}
+	// Condition 0: gene 0 over (item 0).
+	if !byCond.Trans[0].Equal(itemset.FromInts(0)) {
+		t.Fatalf("cond 0 = %v", byCond.Trans[0])
+	}
+	// Condition 1: gene 0 under (item 1), gene 1 over (item 2).
+	if !byCond.Trans[1].Equal(itemset.FromInts(1, 2)) {
+		t.Fatalf("cond 1 = %v", byCond.Trans[1])
+	}
+	// Condition 2: gene 1 under (item 3).
+	if !byCond.Trans[2].Equal(itemset.FromInts(3)) {
+		t.Fatalf("cond 2 = %v", byCond.Trans[2])
+	}
+}
+
+func TestYeastShape(t *testing.T) {
+	db := Yeast(0.1, 1)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	// Few transactions (conditions), many items (gene polarity pairs):
+	// the defining regime. Conditions scale with sqrt(0.1) of 300 ≈ 95.
+	if s.Transactions < 60 || s.Transactions > 120 {
+		t.Fatalf("transactions = %d", s.Transactions)
+	}
+	if s.UsedItems < 5*s.Transactions {
+		t.Fatalf("expected many more items than transactions, got %v", s)
+	}
+	// Deterministic.
+	db2 := Yeast(0.1, 1)
+	if len(db2.Trans) != len(db.Trans) || !db2.Trans[0].Equal(db.Trans[0]) {
+		t.Fatal("Yeast must be deterministic for a fixed seed")
+	}
+}
+
+func TestNCBI60Shape(t *testing.T) {
+	db := NCBI60(0.1, 2)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Transactions != 60 {
+		t.Fatalf("transactions = %d, want 60", s.Transactions)
+	}
+	// The Figure 6 sweep mines at minsup 46..54; there must be items that
+	// frequent.
+	freq := db.ItemFrequencies()
+	high := 0
+	for _, f := range freq {
+		if f >= 46 {
+			high++
+		}
+	}
+	if high < 10 {
+		t.Fatalf("only %d items reach frequency 46; fig6 sweep would be empty", high)
+	}
+}
+
+func TestThrombinShape(t *testing.T) {
+	db := Thrombin(0.01, 3)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Transactions != 64 {
+		t.Fatalf("transactions = %d, want 64", s.Transactions)
+	}
+	if s.Items < 1000 {
+		t.Fatalf("items = %d, want a wide feature space", s.Items)
+	}
+	if s.Density > 0.2 {
+		t.Fatalf("density = %f, want sparse", s.Density)
+	}
+}
+
+func TestWebViewShape(t *testing.T) {
+	db := WebView(0.05, 4)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	// Transposed: transactions = pages (few), items = sessions (many).
+	// Pages scale with sqrt(0.05) of 497 ≈ 111.
+	if s.Transactions < 80 || s.Transactions > 150 {
+		t.Fatalf("transactions = %d", s.Transactions)
+	}
+	if s.UsedItems < 10*s.Transactions {
+		t.Fatalf("expected many items, got %v", s)
+	}
+}
+
+func TestQuest(t *testing.T) {
+	db := Quest(QuestConfig{
+		Items: 100, Transactions: 500, AvgLen: 8,
+		Patterns: 20, AvgPatternLen: 4, Seed: 5,
+	})
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Transactions != 500 {
+		t.Fatalf("transactions = %d", s.Transactions)
+	}
+	if s.MinLen < 1 {
+		t.Fatal("empty transaction generated")
+	}
+	if s.AvgLen < 2 || s.AvgLen > 20 {
+		t.Fatalf("avg length = %f", s.AvgLen)
+	}
+	// Determinism.
+	db2 := Quest(QuestConfig{
+		Items: 100, Transactions: 500, AvgLen: 8,
+		Patterns: 20, AvgPatternLen: 4, Seed: 5,
+	})
+	for k := range db.Trans {
+		if !db.Trans[k].Equal(db2.Trans[k]) {
+			t.Fatal("Quest must be deterministic")
+		}
+	}
+}
+
+func TestQuestBundles(t *testing.T) {
+	cfg := QuestConfig{
+		Items: 60, Transactions: 800, AvgLen: 6,
+		Patterns: 15, AvgPatternLen: 3, Bundles: 10, Seed: 13,
+	}
+	db := Quest(cfg)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At least one bundle pair must hold: an item b that occurs in every
+	// transaction containing a. Verify by scanning for such a pair among
+	// frequent items.
+	freq := db.ItemFrequencies()
+	found := false
+	for a := 0; a < db.Items && !found; a++ {
+		if freq[a] < 10 {
+			continue
+		}
+		counts := make([]int, db.Items)
+		for _, tr := range db.Trans {
+			if !tr.Contains(itemset.Item(a)) {
+				continue
+			}
+			for _, i := range tr {
+				counts[i]++
+			}
+		}
+		for b := 0; b < db.Items; b++ {
+			if b != a && counts[b] == freq[a] {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no bundle pair materialized")
+	}
+}

@@ -1,0 +1,102 @@
+package gendata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixCSV parses a gene expression matrix from CSV/TSV text: one row
+// per gene, one numeric column per condition (comma, semicolon, tab or
+// whitespace separated). A first column or first row of non-numeric labels
+// is skipped, so typical expression exports load directly. The returned
+// matrix feeds Discretize, completing the §4 pipeline of the paper for
+// real data.
+func ReadMatrixCSV(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var rows [][]float64
+	width := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := splitCSV(text)
+		// Drop a leading label column.
+		if len(fields) > 0 {
+			if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+				fields = fields[1:]
+			}
+		}
+		vals := make([]float64, 0, len(fields))
+		numeric := true
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				numeric = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if !numeric {
+			// A fully non-numeric row is a header; it is only acceptable
+			// before any data row.
+			if len(rows) == 0 {
+				continue
+			}
+			return nil, fmt.Errorf("gendata: line %d: non-numeric value in matrix body", line)
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		if width == -1 {
+			width = len(vals)
+		} else if len(vals) != width {
+			return nil, fmt.Errorf("gendata: line %d has %d values, expected %d", line, len(vals), width)
+		}
+		rows = append(rows, vals)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gendata: read matrix: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("gendata: empty matrix")
+	}
+	m := &Matrix{Genes: len(rows), Conditions: width, v: make([]float64, len(rows)*width)}
+	for g, row := range rows {
+		copy(m.v[g*width:], row)
+	}
+	return m, nil
+}
+
+// WriteMatrixCSV renders the matrix as comma-separated values, one gene
+// per row.
+func WriteMatrixCSV(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	for g := 0; g < m.Genes; g++ {
+		for c := 0; c < m.Conditions; c++ {
+			if c > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(m.At(g, c), 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func splitCSV(line string) []string {
+	sep := func(r rune) bool { return r == ',' || r == ';' || r == '\t' || r == ' ' }
+	return strings.FieldsFunc(line, sep)
+}

@@ -1,0 +1,88 @@
+package gendata
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixCSVPlain(t *testing.T) {
+	in := "0.5,-0.3,0.1\n-0.2,0.4,0\n"
+	m, err := ReadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Genes != 2 || m.Conditions != 3 {
+		t.Fatalf("shape %d×%d", m.Genes, m.Conditions)
+	}
+	if m.At(0, 1) != -0.3 || m.At(1, 2) != 0 {
+		t.Fatalf("values wrong: %v %v", m.At(0, 1), m.At(1, 2))
+	}
+}
+
+func TestReadMatrixCSVWithLabels(t *testing.T) {
+	in := strings.Join([]string{
+		"gene\tcond1\tcond2", // header row
+		"YAL001C\t0.25\t-0.31",
+		"YAL002W\t-0.05\t0.44",
+		"# a comment",
+		"",
+		"YAL003W\t0.01\t0.02",
+	}, "\n")
+	m, err := ReadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Genes != 3 || m.Conditions != 2 {
+		t.Fatalf("shape %d×%d", m.Genes, m.Conditions)
+	}
+	if m.At(0, 0) != 0.25 || m.At(2, 1) != 0.02 {
+		t.Fatal("label column not skipped correctly")
+	}
+}
+
+func TestReadMatrixCSVErrors(t *testing.T) {
+	if _, err := ReadMatrixCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadMatrixCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := ReadMatrixCSV(strings.NewReader("1,2\n3,abc\n")); err == nil {
+		t.Error("non-numeric body should fail")
+	}
+}
+
+func TestMatrixCSVRoundTrip(t *testing.T) {
+	m := Expression(ExpressionConfig{
+		Genes: 25, Conditions: 12, Modules: 2,
+		ModuleGeneFrac: 0.5, ModuleCondFrac: 0.4,
+		Effect: 0.5, Noise: 0.15, Seed: 77,
+	})
+	var sb strings.Builder
+	if err := WriteMatrixCSV(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Genes != m.Genes || back.Conditions != m.Conditions {
+		t.Fatalf("shape changed: %d×%d", back.Genes, back.Conditions)
+	}
+	for g := 0; g < m.Genes; g++ {
+		for c := 0; c < m.Conditions; c++ {
+			if math.Abs(back.At(g, c)-m.At(g, c)) > 1e-12 {
+				t.Fatalf("value (%d,%d) changed: %v vs %v", g, c, back.At(g, c), m.At(g, c))
+			}
+		}
+	}
+	// The round-tripped matrix must discretize identically.
+	a := Discretize(m, 0.2, 0.2, ConditionsAsTransactions)
+	b := Discretize(back, 0.2, 0.2, ConditionsAsTransactions)
+	for k := range a.Trans {
+		if !a.Trans[k].Equal(b.Trans[k]) {
+			t.Fatalf("row %d differs after round trip", k)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package itemset
+
+import "math/bits"
+
+// BitSet is a fixed-universe bit vector over item codes. The IsTa miner
+// uses one as the per-transaction membership flag array ("trans" in the
+// paper's Fig. 2); the oracles use it for fast subset tests on dense data.
+type BitSet struct {
+	words []uint64
+	n     int // universe size
+}
+
+// NewBitSet returns an empty BitSet over item codes 0..n-1.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Universe returns the universe size the set was created with.
+func (b *BitSet) Universe() int { return b.n }
+
+// Add inserts item x.
+func (b *BitSet) Add(x Item) { b.words[x>>6] |= 1 << (uint(x) & 63) }
+
+// Remove deletes item x.
+func (b *BitSet) Remove(x Item) { b.words[x>>6] &^= 1 << (uint(x) & 63) }
+
+// Has reports whether item x is present.
+func (b *BitSet) Has(x Item) bool { return b.words[x>>6]&(1<<(uint(x)&63)) != 0 }
+
+// Clear removes all items.
+func (b *BitSet) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SetAll inserts every item of s.
+func (b *BitSet) SetAll(s Set) {
+	for _, x := range s {
+		b.Add(x)
+	}
+}
+
+// ClearAll removes every item of s (cheaper than Clear for sparse use).
+func (b *BitSet) ClearAll(s Set) {
+	for _, x := range s {
+		b.Remove(x)
+	}
+}
+
+// Count returns the number of items present.
+func (b *BitSet) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IntersectWith keeps only items also present in other.
+func (b *BitSet) IntersectWith(other *BitSet) {
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// UnionWith adds all items present in other.
+func (b *BitSet) UnionWith(other *BitSet) {
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// ContainsSet reports whether every item of s is present.
+func (b *BitSet) ContainsSet(s Set) bool {
+	for _, x := range s {
+		if !b.Has(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// ToSet extracts the members in canonical (ascending) order.
+func (b *BitSet) ToSet() Set {
+	out := make(Set, 0, 8)
+	for wi, w := range b.words {
+		base := Item(wi << 6)
+		for w != 0 {
+			out = append(out, base+Item(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package lcm implements an LCM-style closed frequent item set miner
+// (Uno, Kiyomi, Arimura — the FIMI'04 winning enumeration baseline of the
+// paper). LCM enumerates closed sets by prefix-preserving closure
+// extension (ppc-extension): every closed set has exactly one generating
+// parent, so the search needs no repository and emits each closed set
+// exactly once.
+package lcm
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/result"
+)
+
+// Options configures the miner.
+type Options struct {
+	// MinSupport is the absolute minimum support; values < 1 act as 1.
+	MinSupport int
+	// Done optionally cancels the run.
+	Done <-chan struct{}
+}
+
+// Mine runs the closed-set enumeration on db, reporting patterns in
+// original item codes.
+func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	minsup := opts.MinSupport
+	if minsup < 1 {
+		minsup = 1
+	}
+	prep := dataset.Prepare(db, minsup, dataset.OrderAscFreq, dataset.OrderOriginal)
+	pdb := prep.DB
+	if pdb.Items == 0 || len(pdb.Trans) < minsup {
+		return nil
+	}
+
+	m := &lcmMiner{
+		minsup: minsup,
+		db:     pdb,
+		prep:   prep,
+		rep:    rep,
+		ctl:    mining.NewControl(opts.Done),
+	}
+
+	// Root: the closure of the full transaction set.
+	all := make([]int32, len(pdb.Trans))
+	for k := range all {
+		all[k] = int32(k)
+	}
+	root, counts := m.closure(all)
+	if len(root) > 0 {
+		m.rep.Report(m.prep.DecodeSet(root), len(all))
+	}
+	return m.expand(root, all, counts, -1)
+}
+
+type lcmMiner struct {
+	minsup int
+	db     *dataset.Database
+	prep   *dataset.Prepared
+	rep    result.Reporter
+	ctl    *mining.Control
+}
+
+// closure computes the closure of the transaction set tids (the items
+// occurring in every listed transaction) and returns it together with the
+// per-item occurrence counts within tids (the conditional frequencies).
+// The counts slice is freshly allocated per call because the recursion
+// needs the parent's counts while expanding children.
+func (m *lcmMiner) closure(tids []int32) (itemset.Set, []int) {
+	counts := make([]int, m.db.Items)
+	for _, t := range tids {
+		for _, i := range m.db.Trans[t] {
+			counts[i]++
+		}
+	}
+	var clo itemset.Set
+	for i, c := range counts {
+		if c == len(tids) {
+			clo = append(clo, itemset.Item(i))
+		}
+	}
+	return clo, counts
+}
+
+// expand generates the ppc-extensions of the closed set p (with cover
+// tids and conditional counts) using extension items greater than core.
+func (m *lcmMiner) expand(p itemset.Set, tids []int32, counts []int, core int) error {
+	for i := core + 1; i < m.db.Items; i++ {
+		if counts[i] < m.minsup || counts[i] == len(tids) {
+			// Infrequent, or already in p (a perfect extension of p is
+			// in its closure by construction).
+			continue
+		}
+		if err := m.ctl.Tick(); err != nil {
+			return err
+		}
+		// Cover of p ∪ {i}.
+		sub := make([]int32, 0, counts[i])
+		for _, t := range tids {
+			if m.db.Trans[t].Contains(itemset.Item(i)) {
+				sub = append(sub, t)
+			}
+		}
+		q, qCounts := m.closure(sub)
+		// Prefix-preserving check: the closure may only add items > i
+		// beyond what p already contained below i.
+		if !prefixPreserved(p, q, itemset.Item(i)) {
+			continue
+		}
+		m.rep.Report(m.prep.DecodeSet(q), len(sub))
+		if err := m.expand(q, sub, qCounts, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefixPreserved reports whether q agrees with p on all items smaller
+// than i (q is then a valid ppc-extension of p by item i).
+func prefixPreserved(p, q itemset.Set, i itemset.Item) bool {
+	a, b := 0, 0
+	for a < len(p) && p[a] < i && b < len(q) && q[b] < i {
+		if p[a] != q[b] {
+			return false
+		}
+		a++
+		b++
+	}
+	// Any leftover small item on either side breaks the prefix property.
+	if a < len(p) && p[a] < i {
+		return false
+	}
+	if b < len(q) && q[b] < i {
+		return false
+	}
+	return true
+}

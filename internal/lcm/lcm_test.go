@@ -1,0 +1,150 @@
+package lcm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/naive"
+	"repro/internal/result"
+)
+
+func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
+	trans := make([]itemset.Set, n)
+	for k := range trans {
+		var t itemset.Set
+		for i := 0; i < items; i++ {
+			if rng.Float64() < density {
+				t = append(t, itemset.Item(i))
+			}
+		}
+		trans[k] = t
+	}
+	return dataset.New(trans, items)
+}
+
+func TestMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 120; trial++ {
+		items := 2 + rng.Intn(10)
+		n := 1 + rng.Intn(14)
+		db := randDB(rng, items, n, 0.1+rng.Float64()*0.6)
+		for _, minsup := range []int{1, 2, 3, n/2 + 1} {
+			want, err := naive.ClosedByTransactionSubsets(db, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got result.Set
+			if err := Mine(db, Options{MinSupport: minsup}, got.Collect()); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("LCM mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+// TestNoDuplicates: ppc-extension must emit every closed set exactly once
+// even without any dedup structure — count raw reports.
+func TestNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	for trial := 0; trial < 40; trial++ {
+		db := randDB(rng, 3+rng.Intn(8), 3+rng.Intn(12), 0.3+rng.Float64()*0.4)
+		seen := map[string]bool{}
+		dup := false
+		err := Mine(db, Options{MinSupport: 1}, result.ReporterFunc(func(s itemset.Set, _ int) {
+			if seen[s.Key()] {
+				dup = true
+			}
+			seen[s.Key()] = true
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dup {
+			t.Fatalf("duplicate closed set emitted for db %v", db.Trans)
+		}
+	}
+}
+
+func TestMatchesIsTaLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 5; trial++ {
+		db := randDB(rng, 25+rng.Intn(25), 50+rng.Intn(60), 0.1+rng.Float64()*0.2)
+		minsup := 2 + rng.Intn(5)
+		var want result.Set
+		if err := core.Mine(db, core.Options{MinSupport: minsup}, want.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		var got result.Set
+		if err := Mine(db, Options{MinSupport: minsup}, got.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(&want) {
+			t.Fatalf("LCM disagrees with IsTa (minsup=%d):\n%s", minsup, got.Diff(&want, 10))
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	var got result.Set
+	if err := Mine(&dataset.Database{Items: 2}, Options{MinSupport: 1}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatal("empty db")
+	}
+
+	// A database where the root closure is non-empty (item in every
+	// transaction).
+	db := dataset.FromInts([]int{0, 1}, []int{0, 2}, []int{0})
+	got = result.Set{}
+	if err := Mine(db, Options{MinSupport: 3}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	var want result.Set
+	want.Add(itemset.FromInts(0), 3)
+	if !got.Equal(&want) {
+		t.Fatalf("root closure: %s", got.Diff(&want, 5))
+	}
+
+	bad := &dataset.Database{Items: 1, Trans: []itemset.Set{{3}}}
+	if err := Mine(bad, Options{MinSupport: 1}, &result.Counter{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	db := randDB(rand.New(rand.NewSource(9)), 50, 200, 0.4)
+	err := Mine(db, Options{MinSupport: 2, Done: done}, &result.Counter{})
+	if err != mining.ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestPrefixPreserved(t *testing.T) {
+	tests := []struct {
+		p, q itemset.Set
+		i    itemset.Item
+		want bool
+	}{
+		{itemset.FromInts(), itemset.FromInts(3), 3, true},
+		{itemset.FromInts(), itemset.FromInts(1, 3), 3, false}, // adds 1 < 3
+		{itemset.FromInts(1), itemset.FromInts(1, 3), 3, true},
+		{itemset.FromInts(1), itemset.FromInts(2, 3), 3, false},
+		{itemset.FromInts(1, 5), itemset.FromInts(1, 3, 5), 3, true},
+		{itemset.FromInts(0, 1), itemset.FromInts(0, 1, 2, 9), 2, true},
+		{itemset.FromInts(0, 1), itemset.FromInts(0, 2, 9), 2, false},
+	}
+	for _, tc := range tests {
+		if got := prefixPreserved(tc.p, tc.q, tc.i); got != tc.want {
+			t.Errorf("prefixPreserved(%v, %v, %d) = %v, want %v", tc.p, tc.q, tc.i, got, tc.want)
+		}
+	}
+}

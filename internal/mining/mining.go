@@ -1,0 +1,61 @@
+// Package mining holds the small pieces of machinery shared by every
+// miner: cooperative cancellation (so the bench harness can cut off the
+// enumeration baselines exactly where the paper's plots do) and the common
+// error values.
+package mining
+
+import "errors"
+
+// ErrCanceled is returned by a miner whose run was canceled through its
+// Done channel. Partial results already reported remain valid patterns but
+// the result set is incomplete.
+var ErrCanceled = errors.New("mining: canceled")
+
+// checkInterval balances cancellation latency against overhead; the check
+// is a single atomic-free counter decrement in the common case.
+const checkInterval = 4096
+
+// Control performs cheap cooperative cancellation checks inside mining
+// loops. The zero value (or a nil *Control) never cancels.
+type Control struct {
+	done   <-chan struct{}
+	budget int
+}
+
+// NewControl returns a Control watching done; done may be nil.
+func NewControl(done <-chan struct{}) *Control {
+	return &Control{done: done, budget: checkInterval}
+}
+
+// Tick must be called periodically from mining inner loops. It returns
+// ErrCanceled once done is closed (possibly up to checkInterval calls
+// late).
+func (c *Control) Tick() error {
+	if c == nil || c.done == nil {
+		return nil
+	}
+	c.budget--
+	if c.budget > 0 {
+		return nil
+	}
+	c.budget = checkInterval
+	select {
+	case <-c.done:
+		return ErrCanceled
+	default:
+		return nil
+	}
+}
+
+// Canceled reports whether done is already closed, checking immediately.
+func (c *Control) Canceled() bool {
+	if c == nil || c.done == nil {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,60 @@
+package mining
+
+import "testing"
+
+func TestNilControlNeverCancels(t *testing.T) {
+	var c *Control
+	for i := 0; i < 3; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal("nil control must not cancel")
+		}
+	}
+	if c.Canceled() {
+		t.Fatal("nil control must not be canceled")
+	}
+	c2 := NewControl(nil)
+	for i := 0; i < 3*4096; i++ {
+		if err := c2.Tick(); err != nil {
+			t.Fatal("nil-done control must not cancel")
+		}
+	}
+	if c2.Canceled() {
+		t.Fatal("nil-done control must not be canceled")
+	}
+}
+
+func TestControlCancelsWithinInterval(t *testing.T) {
+	done := make(chan struct{})
+	c := NewControl(done)
+	for i := 0; i < 4096; i++ {
+		if err := c.Tick(); err != nil {
+			t.Fatal("must not cancel before done closes")
+		}
+	}
+	close(done)
+	if !c.Canceled() {
+		t.Fatal("Canceled must observe the closed channel immediately")
+	}
+	// Tick must report cancellation within one check interval.
+	fired := false
+	for i := 0; i < 4097; i++ {
+		if err := c.Tick(); err == ErrCanceled {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("Tick never reported cancellation within an interval")
+	}
+	// Once canceled, it keeps reporting at every interval boundary.
+	fired = false
+	for i := 0; i < 4097; i++ {
+		if err := c.Tick(); err == ErrCanceled {
+			fired = true
+			break
+		}
+	}
+	if !fired {
+		t.Fatal("cancellation is not sticky")
+	}
+}

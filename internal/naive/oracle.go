@@ -1,0 +1,115 @@
+package naive
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/result"
+)
+
+// maxOracleTransactions bounds the 2^n transaction-subset oracle.
+const maxOracleTransactions = 20
+
+// maxOracleItems bounds the 2^|B| item-subset oracle.
+const maxOracleItems = 20
+
+// ClosedByTransactionSubsets is a brute-force oracle: it enumerates every
+// non-empty subset of transactions, intersects it, and keeps the
+// intersections whose cover reaches minSupport (§2.4: the closed sets are
+// exactly the intersections of transaction subsets). It only accepts
+// databases with at most 20 transactions.
+func ClosedByTransactionSubsets(db *dataset.Database, minSupport int) (*result.Set, error) {
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(db.Trans)
+	if n > maxOracleTransactions {
+		return nil, fmt.Errorf("naive: oracle limited to %d transactions, got %d", maxOracleTransactions, n)
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	seen := map[string]int{}
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var inter itemset.Set
+		first := true
+		for k := 0; k < n && (first || len(inter) > 0); k++ {
+			if mask&(1<<uint(k)) == 0 {
+				continue
+			}
+			if first {
+				inter = db.Trans[k].Clone()
+				first = false
+			} else {
+				inter = inter.Intersect(db.Trans[k])
+			}
+		}
+		if len(inter) == 0 {
+			continue
+		}
+		key := inter.Key()
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = result.Support(db, inter)
+	}
+	var out result.Set
+	for key, supp := range seen {
+		if supp >= minSupport {
+			out.Add(itemset.ParseKey(key), supp)
+		}
+	}
+	out.Sort()
+	return &out, nil
+}
+
+// ClosedByItemSubsets is the second, fully independent oracle: it
+// enumerates every non-empty subset of the item universe, computes its
+// support directly, and keeps the sets that are frequent and closed per
+// the support-based definition of §2.3 (no superset with equal support,
+// checked via single-item extensions). It only accepts databases with at
+// most 20 items.
+func ClosedByItemSubsets(db *dataset.Database, minSupport int) (*result.Set, error) {
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	if db.Items > maxOracleItems {
+		return nil, fmt.Errorf("naive: oracle limited to %d items, got %d", maxOracleItems, db.Items)
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	var out result.Set
+	items := make(itemset.Set, 0, db.Items)
+	for mask := 1; mask < 1<<uint(db.Items); mask++ {
+		items = items[:0]
+		for i := 0; i < db.Items; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				items = append(items, itemset.Item(i))
+			}
+		}
+		supp := result.Support(db, items)
+		if supp < minSupport {
+			continue
+		}
+		// Closed iff no single-item extension preserves support: adding
+		// any item i ∉ I either drops support or I has a perfect
+		// extension and is not closed (§2.3 and the perfect-extension
+		// remark in §2.2).
+		closed := true
+		for i := 0; i < db.Items && closed; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			if result.Support(db, items.WithItem(itemset.Item(i))) == supp {
+				closed = false
+			}
+		}
+		if closed {
+			out.Add(items, supp)
+		}
+	}
+	out.Sort()
+	return &out, nil
+}

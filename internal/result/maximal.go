@@ -1,0 +1,27 @@
+package result
+
+import "sort"
+
+// FilterMaximal reduces a set of closed frequent patterns to the maximal
+// frequent item sets (§2.3): a frequent item set is maximal iff it has no
+// frequent proper superset, and since every frequent set has a closed
+// superset with the same support, the maximal frequent sets are exactly
+// the closed sets without a closed proper superset.
+func FilterMaximal(closed *Set) *Set {
+	patterns := append([]Pattern(nil), closed.Patterns...)
+	// Longest first: a proper superset is always strictly longer.
+	sort.Slice(patterns, func(i, j int) bool { return len(patterns[i].Items) > len(patterns[j].Items) })
+	var tree CFITree
+	var out Set
+	for _, p := range patterns {
+		// Support 1 in the query accepts any stored superset, regardless
+		// of its support; sets are distinct, so a hit on an equal-length
+		// set is impossible and any hit is a proper superset.
+		if !tree.Subsumed(p.Items, 1) {
+			out.Add(p.Items, p.Support)
+		}
+		tree.Insert(p.Items, 1)
+	}
+	out.Sort()
+	return &out
+}

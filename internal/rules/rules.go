@@ -1,0 +1,173 @@
+// Package rules induces association rules from a set of closed frequent
+// item sets — the application that motivated frequent item set mining in
+// the first place (§1/§2.1 of the paper). Closed sets are sufficient for
+// this: the support of an arbitrary item set is the maximum support of the
+// closed sets containing it (§2.3), which this package answers with a
+// support index over the closed collection.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/itemset"
+	"repro/internal/result"
+)
+
+// Rule is an association rule "Antecedent → Consequent".
+type Rule struct {
+	Antecedent itemset.Set
+	Consequent itemset.Set
+	// Support is the absolute support of Antecedent ∪ Consequent.
+	Support int
+	// Confidence = supp(A ∪ C) / supp(A).
+	Confidence float64
+	// Lift = Confidence / (supp(C) / totalTransactions).
+	Lift float64
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s -> %s (supp=%d conf=%.3f lift=%.3f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// Index answers support queries for arbitrary item sets from a closed-set
+// collection.
+type Index struct {
+	patterns []result.Pattern
+	byItem   map[itemset.Item][]int // closed sets containing each item
+	total    int                    // number of transactions in the database
+}
+
+// NewIndex builds a support index over closed frequent patterns mined at
+// some minimum support; total is the transaction count of the database.
+func NewIndex(closed *result.Set, total int) *Index {
+	idx := &Index{
+		patterns: closed.Patterns,
+		byItem:   make(map[itemset.Item][]int),
+		total:    total,
+	}
+	for i, p := range closed.Patterns {
+		for _, it := range p.Items {
+			idx.byItem[it] = append(idx.byItem[it], i)
+		}
+	}
+	return idx
+}
+
+// Total returns the transaction count the index was built with.
+func (idx *Index) Total() int { return idx.total }
+
+// Support returns the support of items: the maximum support of any closed
+// superset (§2.3). The second return value is false if no closed superset
+// exists, meaning the set's support is below the mining threshold (its
+// exact value is unknown from the closed collection alone). The empty set
+// has support Total.
+func (idx *Index) Support(items itemset.Set) (int, bool) {
+	if len(items) == 0 {
+		return idx.total, true
+	}
+	// Scan the candidate list of the rarest item.
+	var cands []int
+	first := true
+	for _, it := range items {
+		l := idx.byItem[it]
+		if first || len(l) < len(cands) {
+			cands = l
+			first = false
+		}
+	}
+	best, ok := 0, false
+	for _, i := range cands {
+		p := idx.patterns[i]
+		if p.Support > best && items.SubsetOf(p.Items) {
+			best = p.Support
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// Options configures rule induction.
+type Options struct {
+	// MinConfidence filters rules below this confidence.
+	MinConfidence float64
+	// MinLift, if > 0, additionally requires at least this lift.
+	MinLift float64
+	// MaxConsequentItems limits consequent size; 0 means single-item
+	// consequents (the classic and by far the most common setting).
+	MaxConsequentItems int
+}
+
+// FromClosed generates association rules from the closed frequent item
+// sets: for every closed set Z and every split of Z into antecedent A and
+// a consequent C of bounded size, the rule A → C is emitted if its
+// confidence (and lift, if requested) passes the thresholds. Rules are
+// returned sorted by descending confidence, then descending support.
+func FromClosed(closed *result.Set, total int, opts Options) []Rule {
+	idx := NewIndex(closed, total)
+	maxCons := opts.MaxConsequentItems
+	if maxCons < 1 {
+		maxCons = 1
+	}
+	var out []Rule
+	for _, p := range closed.Patterns {
+		if len(p.Items) < 2 {
+			continue
+		}
+		emitSplits(idx, p, maxCons, opts, &out)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if c := itemset.Compare(out[i].Antecedent, out[j].Antecedent); c != 0 {
+			return c < 0
+		}
+		return itemset.Compare(out[i].Consequent, out[j].Consequent) < 0
+	})
+	return out
+}
+
+func emitSplits(idx *Index, p result.Pattern, maxCons int, opts Options, out *[]Rule) {
+	n := len(p.Items)
+	// Enumerate consequents of size 1..maxCons (bounded: rule induction
+	// with single-item consequents is linear in the set size).
+	var rec func(start int, cons itemset.Set)
+	rec = func(start int, cons itemset.Set) {
+		if len(cons) > 0 {
+			ante := p.Items.Minus(cons)
+			if len(ante) > 0 {
+				anteSupp, ok := idx.Support(ante)
+				if ok && anteSupp > 0 {
+					conf := float64(p.Support) / float64(anteSupp)
+					if conf >= opts.MinConfidence {
+						lift := 0.0
+						if consSupp, ok2 := idx.Support(cons); ok2 && consSupp > 0 && idx.total > 0 {
+							lift = conf / (float64(consSupp) / float64(idx.total))
+						}
+						if opts.MinLift <= 0 || lift >= opts.MinLift {
+							*out = append(*out, Rule{
+								Antecedent: ante,
+								Consequent: cons.Clone(),
+								Support:    p.Support,
+								Confidence: conf,
+								Lift:       lift,
+							})
+						}
+					}
+				}
+			}
+		}
+		if len(cons) == maxCons {
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cons, p.Items[i]))
+		}
+	}
+	rec(0, nil)
+}

@@ -1,0 +1,142 @@
+package sam
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/naive"
+	"repro/internal/result"
+)
+
+func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
+	trans := make([]itemset.Set, n)
+	for k := range trans {
+		var t itemset.Set
+		for i := 0; i < items; i++ {
+			if rng.Float64() < density {
+				t = append(t, itemset.Item(i))
+			}
+		}
+		trans[k] = t
+	}
+	return dataset.New(trans, items)
+}
+
+func bruteAllFrequent(db *dataset.Database, minsup int) *result.Set {
+	var out result.Set
+	items := make(itemset.Set, 0, db.Items)
+	for mask := 1; mask < 1<<uint(db.Items); mask++ {
+		items = items[:0]
+		for i := 0; i < db.Items; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				items = append(items, itemset.Item(i))
+			}
+		}
+		if supp := result.Support(db, items); supp >= minsup {
+			out.Add(items, supp)
+		}
+	}
+	return &out
+}
+
+func TestAllMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for trial := 0; trial < 60; trial++ {
+		items := 2 + rng.Intn(7)
+		n := 1 + rng.Intn(10)
+		db := randDB(rng, items, n, 0.2+rng.Float64()*0.5)
+		for _, minsup := range []int{1, 2} {
+			want := bruteAllFrequent(db, minsup)
+			var got result.Set
+			if err := Mine(db, Options{MinSupport: minsup, Target: All}, got.Collect()); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("SaM(all) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+func TestClosedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	for trial := 0; trial < 80; trial++ {
+		items := 2 + rng.Intn(8)
+		n := 1 + rng.Intn(12)
+		db := randDB(rng, items, n, 0.15+rng.Float64()*0.5)
+		for _, minsup := range []int{1, 2, 3} {
+			want, err := naive.ClosedByTransactionSubsets(db, minsup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got result.Set
+			if err := Mine(db, Options{MinSupport: minsup, Target: Closed}, got.Collect()); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("SaM(closed) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
+			}
+		}
+	}
+}
+
+func TestDuplicateTransactionsCollapse(t *testing.T) {
+	db := dataset.FromInts([]int{0, 1}, []int{0, 1}, []int{0, 1}, []int{1})
+	var got result.Set
+	if err := Mine(db, Options{MinSupport: 3, Target: All}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	var want result.Set
+	want.Add(itemset.FromInts(0), 3)
+	want.Add(itemset.FromInts(1), 4)
+	want.Add(itemset.FromInts(0, 1), 3)
+	if !got.Equal(&want) {
+		t.Fatalf("weights: %s", got.Diff(&want, 5))
+	}
+}
+
+func TestMergeAndCollapse(t *testing.T) {
+	a := []wtrans{{w: 1, items: itemset.FromInts(1)}, {w: 2, items: itemset.FromInts(1, 2)}}
+	b := []wtrans{{w: 3, items: itemset.FromInts(1, 2)}, {w: 1, items: itemset.FromInts(2)}}
+	out := merge(a, b)
+	if len(out) != 3 {
+		t.Fatalf("merge length = %d", len(out))
+	}
+	if out[1].w != 5 || !out[1].items.Equal(itemset.FromInts(1, 2)) {
+		t.Fatalf("merged weights wrong: %+v", out)
+	}
+	c := collapse([]wtrans{
+		{w: 1, items: itemset.FromInts(3)},
+		{w: 2, items: itemset.FromInts(3)},
+		{w: 1, items: itemset.FromInts(4)},
+	})
+	if len(c) != 2 || c[0].w != 3 {
+		t.Fatalf("collapse wrong: %+v", c)
+	}
+}
+
+func TestEdgeCasesAndCancel(t *testing.T) {
+	var got result.Set
+	if err := Mine(&dataset.Database{Items: 2}, Options{MinSupport: 1}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatal("empty db")
+	}
+
+	bad := &dataset.Database{Items: 1, Trans: []itemset.Set{{3}}}
+	if err := Mine(bad, Options{MinSupport: 1}, &result.Counter{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+
+	done := make(chan struct{})
+	close(done)
+	db := randDB(rand.New(rand.NewSource(19)), 30, 80, 0.5)
+	err := Mine(db, Options{MinSupport: 2, Done: done}, &result.Counter{})
+	if err != mining.ErrCanceled {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
