@@ -30,6 +30,7 @@ func main() {
 		out     = flag.String("out", "", "output file (default stdout)")
 		stats   = flag.Bool("stats", false, "print workload statistics and timing to stderr")
 		timeout = flag.Duration("timeout", 0, "optional wall-clock limit")
+		par     = flag.Int("p", 0, "parallel workers for ista and carpenter-table (0 or 1 = sequential, -1 = all cores); the pattern set is identical to the sequential run")
 
 		expr      = flag.Bool("expr", false, "input is a gene expression matrix (CSV/TSV of log ratios), discretized per the paper's §4")
 		threshold = flag.Float64("threshold", 0.2, "with -expr: |log ratio| above this is over-/under-expressed")
@@ -72,9 +73,10 @@ func main() {
 	case "closed":
 		var set fim.ResultSet
 		err = fim.Mine(db, fim.Options{
-			MinSupport: minsup,
-			Algorithm:  fim.Algorithm(*algo),
-			Done:       done,
+			MinSupport:  minsup,
+			Algorithm:   fim.Algorithm(*algo),
+			Done:        done,
+			Parallelism: *par,
 		}, set.Collect())
 		patterns = &set
 	case "all":

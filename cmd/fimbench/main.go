@@ -25,6 +25,7 @@ func main() {
 		scale   = flag.Float64("scale", 0, "workload scale factor (0 = experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = experiment default)")
 		timeout = flag.Duration("timeout", 0, "per-run timeout (0 = experiment default)")
+		par     = flag.Int("p", 0, "worker count for the par experiment (0 = measure 2/4/8)")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Timeout: *timeout}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Timeout: *timeout, Parallelism: *par}
 	run := func(e bench.Experiment) {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		fmt.Printf("paper's reported shape: %s\n\n", e.Notes)

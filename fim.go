@@ -37,6 +37,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/lcm"
 	"repro/internal/naive"
+	"repro/internal/parallel"
 	"repro/internal/result"
 	"repro/internal/rules"
 	"repro/internal/sam"
@@ -95,6 +96,14 @@ type Options struct {
 	// Done, when closed, cancels the run; Mine returns an error and the
 	// already reported patterns form an incomplete prefix of the result.
 	Done <-chan struct{}
+	// Parallelism selects the number of worker goroutines for the
+	// algorithms with a parallel engine (IsTa and CarpenterTable): 0 or 1
+	// run the sequential miner unchanged, n >= 2 runs n workers, and
+	// negative values use runtime.GOMAXPROCS(0). The parallel engines
+	// report exactly the pattern set of the sequential run in a
+	// deterministic order (see internal/parallel). Other algorithms
+	// ignore the field and always run sequentially.
+	Parallelism int
 }
 
 // Mine streams the closed frequent item sets of db into rep using the
@@ -102,10 +111,21 @@ type Options struct {
 // (the test suite cross-checks them); they differ in performance
 // characteristics — see DESIGN.md and the fimbench tool.
 func Mine(db *Database, opts Options, rep Reporter) error {
+	par := opts.Parallelism < 0 || opts.Parallelism >= 2
 	switch opts.Algorithm {
 	case IsTa, "":
+		if par {
+			return parallel.MineIsTa(db, parallel.Options{
+				MinSupport: opts.MinSupport, Workers: opts.Parallelism, Done: opts.Done,
+			}, rep)
+		}
 		return core.Mine(db, core.Options{MinSupport: opts.MinSupport, Done: opts.Done}, rep)
 	case CarpenterTable:
+		if par {
+			return parallel.MineCarpenterTable(db, parallel.Options{
+				MinSupport: opts.MinSupport, Workers: opts.Parallelism, Done: opts.Done,
+			}, rep)
+		}
 		return carpenter.Mine(db, carpenter.Options{
 			MinSupport: opts.MinSupport, Variant: carpenter.Table, Done: opts.Done,
 		}, rep)
@@ -144,6 +164,22 @@ func Mine(db *Database, opts Options, rep Reporter) error {
 func MineClosed(db *Database, minSupport int) (*ResultSet, error) {
 	var out ResultSet
 	if err := Mine(db, Options{MinSupport: minSupport}, out.Collect()); err != nil {
+		return nil, err
+	}
+	out.Sort()
+	return &out, nil
+}
+
+// MineParallel mines the closed frequent item sets of db with the
+// parallel IsTa engine on the given number of workers (values < 1 select
+// runtime.GOMAXPROCS(0)) and returns them in canonical order — the same
+// patterns MineClosed returns, mined on multiple cores.
+func MineParallel(db *Database, minSupport, workers int) (*ResultSet, error) {
+	if workers == 0 {
+		workers = -1 // Options.Parallelism uses 0 for "sequential"
+	}
+	var out ResultSet
+	if err := Mine(db, Options{MinSupport: minSupport, Parallelism: workers}, out.Collect()); err != nil {
 		return nil, err
 	}
 	out.Sort()

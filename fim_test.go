@@ -134,6 +134,78 @@ func TestCancellationSurfacesError(t *testing.T) {
 	}
 }
 
+// TestCancellationConformance: every algorithm — and the parallel engines —
+// must return ErrCanceled promptly when Done is closed before the run
+// starts, without reporting a single pattern.
+func TestCancellationConformance(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	db := paperExample()
+	check := func(name string, opts Options) {
+		reported := 0
+		err := Mine(db, opts, ReporterFunc(func(ItemSet, int) { reported++ }))
+		if err != mining.ErrCanceled {
+			t.Errorf("%s: err = %v, want ErrCanceled", name, err)
+		}
+		if reported != 0 {
+			t.Errorf("%s: reported %d patterns after pre-closed Done", name, reported)
+		}
+	}
+	for _, algo := range Algorithms() {
+		check(string(algo), Options{MinSupport: 2, Algorithm: algo, Done: done})
+	}
+	check("ista-parallel", Options{MinSupport: 2, Algorithm: IsTa, Done: done, Parallelism: 4})
+	check("carpenter-table-parallel", Options{MinSupport: 2, Algorithm: CarpenterTable, Done: done, Parallelism: 4})
+}
+
+// TestParallelismRouting: Parallelism must leave the result unchanged for
+// the algorithms with a parallel engine and be ignored by the others.
+func TestParallelismRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]int, 80)
+	for i := range rows {
+		for item := 0; item < 14; item++ {
+			if rng.Intn(3) == 0 {
+				rows[i] = append(rows[i], item)
+			}
+		}
+	}
+	db := NewDatabase(rows)
+	ref, err := MineClosed(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range Algorithms() {
+		for _, p := range []int{-1, 0, 1, 2, 8} {
+			var got ResultSet
+			if err := Mine(db, Options{MinSupport: 3, Algorithm: algo, Parallelism: p}, got.Collect()); err != nil {
+				t.Fatalf("%s at parallelism %d: %v", algo, p, err)
+			}
+			got.Sort()
+			if !got.Equal(ref) {
+				t.Fatalf("%s at parallelism %d disagrees:\n%s", algo, p, got.Diff(ref, 10))
+			}
+		}
+	}
+}
+
+func TestMineParallel(t *testing.T) {
+	db := paperExample()
+	ref, err := MineClosed(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		got, err := MineParallel(db, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("MineParallel(%d workers) disagrees:\n%s", workers, got.Diff(ref, 10))
+		}
+	}
+}
+
 func TestRulesFromClosed(t *testing.T) {
 	db := paperExample()
 	closed, err := MineClosed(db, 1)

@@ -20,7 +20,7 @@ func FuzzMinerAgreement(f *testing.F) {
 		db := fuzzDB(raw)
 		minsup := int(minsupRaw%6) + 1
 
-		var ista, lcm ResultSet
+		var ista, lcm, par ResultSet
 		if err := Mine(db, Options{MinSupport: minsup, Algorithm: IsTa}, ista.Collect()); err != nil {
 			t.Fatal(err)
 		}
@@ -30,6 +30,14 @@ func FuzzMinerAgreement(f *testing.F) {
 		if !ista.Equal(&lcm) {
 			t.Fatalf("IsTa and LCM disagree (minsup=%d, db=%v):\n%s",
 				minsup, db.Trans, ista.Diff(&lcm, 10))
+		}
+		// The sharded parallel engine must reproduce the same set.
+		if err := Mine(db, Options{MinSupport: minsup, Algorithm: IsTa, Parallelism: 3}, par.Collect()); err != nil {
+			t.Fatal(err)
+		}
+		if !par.Equal(&ista) {
+			t.Fatalf("parallel IsTa disagrees (minsup=%d, db=%v):\n%s",
+				minsup, db.Trans, par.Diff(&ista, 10))
 		}
 		// Semantic spot checks on the agreed result.
 		for _, p := range ista.Patterns {

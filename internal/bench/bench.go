@@ -21,6 +21,7 @@ import (
 	"repro/internal/lcm"
 	"repro/internal/mining"
 	"repro/internal/naive"
+	"repro/internal/parallel"
 	"repro/internal/result"
 	"repro/internal/sam"
 )
@@ -75,6 +76,18 @@ func Algorithms() map[string]Algo {
 		{"flat", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
 			return naive.FlatCumulative(db, naive.FlatOptions{MinSupport: ms, Done: done}, rep)
 		}},
+	}
+	// Parallel engines at fixed worker counts, for the speedup experiment.
+	for _, p := range []int{2, 4, 8} {
+		p := p
+		algos = append(algos,
+			Algo{fmt.Sprintf("ista-p%d", p), func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+				return parallel.MineIsTa(db, parallel.Options{MinSupport: ms, Workers: p, Done: done}, rep)
+			}},
+			Algo{fmt.Sprintf("carp-table-p%d", p), func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+				return parallel.MineCarpenterTable(db, parallel.Options{MinSupport: ms, Workers: p, Done: done}, rep)
+			}},
+		)
 	}
 	m := make(map[string]Algo, len(algos))
 	for _, a := range algos {

@@ -3,11 +3,13 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gendata"
+	"repro/internal/parallel"
 	"repro/internal/result"
 )
 
@@ -19,6 +21,17 @@ type Config struct {
 	Scale   float64
 	Seed    int64
 	Timeout time.Duration
+	// Parallelism, when >= 2, makes the par experiment measure exactly
+	// that worker count instead of the default 2/4/8 ladder.
+	Parallelism int
+}
+
+// parWorkers returns the worker counts the par experiment measures.
+func (c Config) parWorkers() []int {
+	if c.Parallelism >= 2 {
+		return []int{c.Parallelism}
+	}
+	return []int{2, 4, 8}
 }
 
 func (c Config) scale(def float64) float64 {
@@ -119,6 +132,12 @@ func Registry() []Experiment {
 			Title: "§3.1.1 ablation: Carpenter repository as prefix tree vs hash table",
 			Notes: "the prefix tree with a flat top level is the paper's repository design",
 			Run:   runRepo,
+		},
+		{
+			ID:    "par",
+			Title: "parallel engines: sequential vs 2/4/8 workers (identical output, measured speedup)",
+			Notes: "not in the paper — shard-and-merge IsTa and branch-parallel Carpenter; speedups require as many free cores as workers",
+			Run:   runParallel,
 		},
 	}
 }
@@ -270,6 +289,64 @@ func runRepo(cfg Config, w io.Writer) error {
 	db := gendata.Yeast(cfg.scale(0.15), cfg.seed(1))
 	return sweepPlain(w, "Repository layout ablation (Carpenter, yeast-like)", db,
 		[]int{16, 14, 12}, []string{"carp-table", "carp-table-hash"}, cfg.timeout(30*time.Second))
+}
+
+// runParallel measures the parallel engines against their sequential
+// counterparts on workloads suited to each: sharded IsTa on a
+// many-transaction basket workload, branch-parallel Carpenter on a dense
+// few-transaction one. Every run must report the same number of closed
+// sets; the speedup column is wall-clock sequential/parallel (≈1x on a
+// single-core machine — the engines trade per-worker duplicated merge
+// work for concurrency, so gains need real cores).
+func runParallel(cfg Config, w io.Writer) error {
+	registry := Algorithms()
+	fmt.Fprintf(w, "(%d cores available)\n\n", runtime.NumCPU())
+	section := func(title string, db *dataset.Database, minsup int, seqName string, parAlgo func(p int) Algo) error {
+		fmt.Fprintf(w, "%s\nworkload: %s, minsup %d\n", title, db.Stats(), minsup)
+		fmt.Fprintf(w, "%-16s  %10s  %9s  %8s\n", "engine", "time(s)", "#closed", "speedup")
+		base := RunOne(registry[seqName], db, minsup, cfg.timeout(60*time.Second))
+		if base.Err != nil {
+			return base.Err
+		}
+		fmt.Fprintf(w, "%-16s  %10s  %9d  %8s\n", seqName, formatSeconds(base.Time), base.Closed, "1.0x")
+		for _, p := range cfg.parWorkers() {
+			a := parAlgo(p)
+			cell := RunOne(a, db, minsup, cfg.timeout(60*time.Second))
+			if cell.Err != nil {
+				return cell.Err
+			}
+			if cell.TimedOut {
+				fmt.Fprintf(w, "%-16s  %10s\n", a.Name, "timeout")
+				continue
+			}
+			if cell.Closed != base.Closed {
+				return fmt.Errorf("bench: %s found %d closed sets, sequential %d", a.Name, cell.Closed, base.Closed)
+			}
+			fmt.Fprintf(w, "%-16s  %10s  %9d  %7.1fx\n", a.Name, formatSeconds(cell.Time), cell.Closed,
+				float64(base.Time)/float64(cell.Time))
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	quest := gendata.Quest(gendata.QuestConfig{
+		Transactions: int(4000 * cfg.scale(1)), Items: 120, AvgLen: 10,
+		Patterns: 30, AvgPatternLen: 4, Seed: cfg.seed(7),
+	})
+	if err := section("sharded IsTa (many transactions)", quest, len(quest.Trans)/100,
+		"ista", func(p int) Algo {
+			return Algo{fmt.Sprintf("ista-p%d", p), func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+				return parallel.MineIsTa(db, parallel.Options{MinSupport: ms, Workers: p, Done: done}, rep)
+			}}
+		}); err != nil {
+		return err
+	}
+	ncbi := gendata.NCBI60(cfg.scale(1)*0.25, cfg.seed(5))
+	return section("branch-parallel Carpenter (few dense transactions)", ncbi, 50,
+		"carp-table", func(p int) Algo {
+			return Algo{fmt.Sprintf("carp-table-p%d", p), func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+				return parallel.MineCarpenterTable(db, parallel.Options{MinSupport: ms, Workers: p, Done: done}, rep)
+			}}
+		})
 }
 
 func sweepPlain(w io.Writer, title string, db *dataset.Database, supports []int, algos []string, timeout time.Duration) error {

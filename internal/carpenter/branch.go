@@ -1,0 +1,124 @@
+// Branch-level access to the table-based search, used by the parallel
+// miner (internal/parallel): the top-level include-branches of the
+// enumeration of §3.1.2 are independent subproblems except for the shared
+// repository, so they can run on separate workers with per-worker
+// repositories as long as the duplicate (and partial-support) reports this
+// produces are merged afterwards. Every set a branch reports is an
+// intersection of actual transactions — hence closed — and the branch
+// rooted at the first transaction of a set's cover reports it with its
+// full support, so a keep-the-maximum merge per item set reconstructs the
+// sequential result exactly (see result.MaxMerger).
+package carpenter
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/result"
+)
+
+// TableBranch is one top-level include-branch of the table-based search:
+// the subproblem that intersects transaction First into the root item base
+// and continues scanning at First+1.
+type TableBranch struct {
+	// First is the index of the branch's first transaction.
+	First int
+	// items is the root intersection after item elimination.
+	items []itemset.Item
+}
+
+// TableBrancher precomputes the top-level branches of the table-based
+// search over a prepared database and lets workers explore them
+// independently.
+type TableBrancher struct {
+	prep   *dataset.Prepared
+	matrix [][]int32
+	minsup int
+	n      int
+	elim   bool
+}
+
+// NewTableBrancher builds the brancher. prep must come from
+// dataset.Prepare with the minsup used here.
+func NewTableBrancher(prep *dataset.Prepared, minsup int, disableElimination bool) *TableBrancher {
+	if minsup < 1 {
+		minsup = 1
+	}
+	return &TableBrancher{
+		prep:   prep,
+		matrix: prep.DB.ToMatrix().M,
+		minsup: minsup,
+		n:      len(prep.DB.Trans),
+		elim:   !disableElimination,
+	}
+}
+
+// Branches enumerates the top-level include-branches in transaction order,
+// mirroring the root loop of the sequential search: it stops early when no
+// remaining branch can reach the minimum support, and when a transaction
+// contains the whole item base (a perfect extension at the root, after
+// which the sequential loop breaks too). Branches with an empty root
+// intersection are skipped.
+func (b *TableBrancher) Branches() []TableBranch {
+	root := make([]itemset.Item, b.prep.DB.Items)
+	for i := range root {
+		root[i] = itemset.Item(i)
+	}
+	var out []TableBranch
+	for j := 0; j < b.n; j++ {
+		if b.n-j < b.minsup {
+			break
+		}
+		row := b.matrix[j]
+		matched := 0
+		child := make([]itemset.Item, 0, len(root))
+		for _, it := range root {
+			if cnt := row[it]; cnt > 0 {
+				matched++
+				if !b.elim || int(cnt) >= b.minsup {
+					child = append(child, it)
+				}
+			}
+		}
+		if len(child) > 0 {
+			out = append(out, TableBranch{First: j, items: child})
+		}
+		if matched == len(root) {
+			break
+		}
+	}
+	return out
+}
+
+// TableWorker explores branches with a private repository. A worker must
+// process its branches in increasing First order (the repository-based
+// subtree suppression is only valid when earlier branches were explored
+// first, exactly as in the sequential scan); branches may be distributed
+// across workers arbitrarily.
+type TableWorker struct {
+	m *miner
+}
+
+// NewWorker returns a fresh worker with its own repository and
+// cancellation control; rep receives the worker's (possibly duplicate or
+// partial-support) reports in prepared item codes decoded to original
+// codes.
+func (b *TableBrancher) NewWorker(done <-chan struct{}, rep result.Reporter) *TableWorker {
+	return &TableWorker{m: &miner{
+		minsup: b.minsup,
+		n:      b.n,
+		elim:   b.elim,
+		repo:   newRepoTree(b.prep.DB.Items),
+		prep:   b.prep,
+		rep:    rep,
+		ctl:    mining.NewControl(done),
+		matrix: b.matrix,
+	}}
+}
+
+// Explore runs one branch to completion; it returns mining.ErrCanceled if
+// the worker's done channel fired.
+func (w *TableWorker) Explore(br TableBranch) error {
+	items := append([]itemset.Item(nil), br.items...)
+	return w.m.exploreTable(items, 1, br.First+1)
+}

@@ -86,6 +86,11 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		}
 	}
 
+	// The report pass polls the same cancellation probe as the
+	// intersection passes (via SetCancel above): once the reporter records
+	// an error the latched control makes the probe fire, so the traversal
+	// aborts promptly instead of walking the rest of a large tree while
+	// merely skipping emits.
 	var err error
 	tree.Report(minsup, func(items itemset.Set, support int) {
 		if err != nil {
@@ -97,5 +102,11 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		}
 		rep.Report(prep.DecodeSet(items), support)
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	if tree.Aborted() {
+		return mining.ErrCanceled
+	}
+	return nil
 }

@@ -72,6 +72,7 @@ type Tree struct {
 	trans    []bool // membership flags of the current transaction (Fig. 2's trans[])
 	imin     int32  // lowest item code in the current transaction
 	step     int32  // current update step = number of transactions processed
+	weight   int32  // multiplicity of the current transaction (1 for AddTransaction)
 
 	// Cancellation support: a single intersection pass can stream over
 	// millions of nodes, so waiting for the pass to finish would make a
@@ -110,7 +111,26 @@ func (t *Tree) Step() int { return int(t.step) }
 // transaction itself through the self-match. Empty transactions only
 // advance the step counter. The items must be canonical (ascending).
 func (t *Tree) AddTransaction(items itemset.Set) {
+	t.addWeighted(items, 1)
+}
+
+// AddWeighted processes one transaction that occurs weight times in the
+// multiset. It is exactly equivalent to weight consecutive AddTransaction
+// calls with the same items — the intersection pass's support increments
+// and its same-step discount both scale by the weight — but costs a single
+// pass (only the step counter advances once instead of weight times). The
+// parallel miner uses it to replay shard results as weighted transactions.
+// Weights below 1 are ignored.
+func (t *Tree) AddWeighted(items itemset.Set, weight int) {
+	if weight < 1 {
+		return
+	}
+	t.addWeighted(items, int32(weight))
+}
+
+func (t *Tree) addWeighted(items itemset.Set, weight int32) {
 	t.step++
+	t.weight = weight
 	if len(items) == 0 {
 		return
 	}
@@ -150,7 +170,7 @@ func (t *Tree) AddTransaction(items itemset.Set) {
 // transaction with the set represented by the path to n, i.e. where nodes
 // for extended intersections must be looked up or inserted.
 func (t *Tree) isect(n *node, ins **node) {
-	trans, imin, step := t.trans, t.imin, t.step
+	trans, imin, step, weight := t.trans, t.imin, t.step, t.weight
 	for n != nil {
 		if t.aborted {
 			return // unwind promptly across all recursion levels
@@ -177,18 +197,18 @@ func (t *Tree) isect(n *node, ins **node) {
 				// before taking the maximum (the step field acts as an
 				// incremental update flag).
 				if d.step >= step {
-					d.supp--
+					d.supp -= weight
 				}
 				if d.supp < n.supp {
 					d.supp = n.supp
 				}
-				d.supp++
+				d.supp += weight
 				d.step = step
 			} else {
 				d = t.arena.alloc()
 				d.step = step
 				d.item = i
-				d.supp = n.supp + 1
+				d.supp = n.supp + weight
 				d.sibling = *ins
 				*ins = d
 			}
@@ -221,6 +241,12 @@ func (t *Tree) isect(n *node, ins **node) {
 // represented set has a superset with equal support and is not closed).
 // The empty set is never reported. The items slice passed to emit is
 // reused between calls.
+//
+// Like the intersection pass, the traversal polls the cancellation probe
+// installed with SetCancel: a report pass over a large tree would
+// otherwise keep running long after the caller recorded a cancellation.
+// Once the probe fires the traversal unwinds promptly and Aborted reports
+// true; the sets emitted so far remain a valid prefix.
 func (t *Tree) Report(minSupport int, emit func(items itemset.Set, support int)) {
 	if minSupport < 1 {
 		minSupport = 1
@@ -231,6 +257,16 @@ func (t *Tree) Report(minSupport int, emit func(items itemset.Set, support int))
 
 func (t *Tree) report(list *node, path itemset.Set, minSupport int32, emit func(items itemset.Set, support int)) {
 	for c := list; c != nil; c = c.sibling {
+		if t.aborted {
+			return // unwind promptly across all recursion levels
+		}
+		if t.ticks--; t.ticks <= 0 {
+			t.ticks = cancelInterval
+			if t.cancel != nil && t.cancel() {
+				t.aborted = true
+				return
+			}
+		}
 		maxChild := int32(-1)
 		for g := c.children; g != nil; g = g.sibling {
 			if g.supp >= minSupport && g.supp > maxChild {
@@ -255,5 +291,38 @@ func (t *Tree) report(list *node, path itemset.Set, minSupport int32, emit func(
 		if c.supp >= minSupport {
 			t.report(c.children, sub, minSupport, emit)
 		}
+	}
+}
+
+// Walk visits every node of the tree and emits its represented item set
+// together with the node's current support value, in the same traversal
+// order as Report but without any frequency or closedness filtering. The
+// parallel merge uses it to enumerate closure candidates, whose supports
+// are then recomputed exactly. The items slice passed to emit is reused
+// between calls. Walk honors the SetCancel probe the same way Report does.
+func (t *Tree) Walk(emit func(items itemset.Set, support int)) {
+	path := make(itemset.Set, 0, 32)
+	t.walk(t.children, path, emit)
+}
+
+func (t *Tree) walk(list *node, path itemset.Set, emit func(items itemset.Set, support int)) {
+	for c := list; c != nil; c = c.sibling {
+		if t.aborted {
+			return
+		}
+		if t.ticks--; t.ticks <= 0 {
+			t.ticks = cancelInterval
+			if t.cancel != nil && t.cancel() {
+				t.aborted = true
+				return
+			}
+		}
+		sub := append(path, c.item)
+		out := make(itemset.Set, len(sub))
+		for i, it := range sub {
+			out[len(sub)-1-i] = it
+		}
+		emit(out, int(c.supp))
+		t.walk(c.children, sub, emit)
 	}
 }

@@ -16,23 +16,34 @@ var ErrCanceled = errors.New("mining: canceled")
 const checkInterval = 4096
 
 // Control performs cheap cooperative cancellation checks inside mining
-// loops. The zero value (or a nil *Control) never cancels.
+// loops. The zero value (or a nil *Control) never cancels. A Control is
+// not safe for concurrent use; give each worker goroutine its own Control
+// on the same done channel.
 type Control struct {
-	done   <-chan struct{}
-	budget int
+	done     <-chan struct{}
+	budget   int
+	canceled bool // latched: once canceled, always canceled
 }
 
-// NewControl returns a Control watching done; done may be nil.
+// NewControl returns a Control watching done; done may be nil. The first
+// Tick polls the channel immediately (so a run that was canceled before it
+// started stops on the very first check); later polls are amortized over
+// checkInterval calls.
 func NewControl(done <-chan struct{}) *Control {
-	return &Control{done: done, budget: checkInterval}
+	return &Control{done: done, budget: 1}
 }
 
 // Tick must be called periodically from mining inner loops. It returns
 // ErrCanceled once done is closed (possibly up to checkInterval calls
-// late).
+// late). Cancellation latches: after the first ErrCanceled every
+// subsequent call reports it immediately, so callers that keep polling
+// cannot resume mining past a cancellation.
 func (c *Control) Tick() error {
 	if c == nil || c.done == nil {
 		return nil
+	}
+	if c.canceled {
+		return ErrCanceled
 	}
 	c.budget--
 	if c.budget > 0 {
@@ -41,6 +52,7 @@ func (c *Control) Tick() error {
 	c.budget = checkInterval
 	select {
 	case <-c.done:
+		c.canceled = true
 		return ErrCanceled
 	default:
 		return nil
@@ -48,12 +60,17 @@ func (c *Control) Tick() error {
 }
 
 // Canceled reports whether done is already closed, checking immediately.
+// Like Tick, the result latches.
 func (c *Control) Canceled() bool {
 	if c == nil || c.done == nil {
 		return false
 	}
+	if c.canceled {
+		return true
+	}
 	select {
 	case <-c.done:
+		c.canceled = true
 		return true
 	default:
 		return false

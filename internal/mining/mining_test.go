@@ -58,3 +58,42 @@ func TestControlCancelsWithinInterval(t *testing.T) {
 		t.Fatal("cancellation is not sticky")
 	}
 }
+
+// TestControlLatchesImmediately is the regression test for the budget-reset
+// bug: after the first ErrCanceled, Tick used to reset its check budget and
+// return nil for the next 4095 calls, letting a caller mine on past the
+// cancellation. Every call after the first ErrCanceled must now report
+// cancellation, with no nil gap.
+func TestControlLatchesImmediately(t *testing.T) {
+	done := make(chan struct{})
+	c := NewControl(done)
+	close(done)
+	// Drive Tick to its first cancellation report.
+	var first error
+	for i := 0; i < 4096 && first == nil; i++ {
+		first = c.Tick()
+	}
+	if first != ErrCanceled {
+		t.Fatal("Tick never reported cancellation")
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Tick(); err != ErrCanceled {
+			t.Fatalf("Tick call %d after cancellation returned %v, want ErrCanceled", i+1, err)
+		}
+	}
+	if !c.Canceled() {
+		t.Fatal("Canceled must stay latched")
+	}
+
+	// The latch must also work the other way around: a Canceled observation
+	// makes the very next Tick report, even with a full budget remaining.
+	done2 := make(chan struct{})
+	c2 := NewControl(done2)
+	close(done2)
+	if !c2.Canceled() {
+		t.Fatal("Canceled must observe the closed channel")
+	}
+	if err := c2.Tick(); err != ErrCanceled {
+		t.Fatalf("Tick after a Canceled observation returned %v, want ErrCanceled", err)
+	}
+}

@@ -1,0 +1,97 @@
+package parallel
+
+import (
+	"sync"
+
+	"repro/internal/carpenter"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/result"
+)
+
+// MineCarpenterTable runs the table-based Carpenter search with its
+// top-level transaction-set branches fanned out across opts.Workers
+// goroutines. Each worker owns a private repository, so branches that the
+// sequential shared repository would have suppressed are re-explored and
+// re-reported (possibly with the partial support counted from the
+// branch's own starting transaction); the final keep-the-maximum merge
+// per item set reconstructs the sequential pattern set exactly — every
+// branch report is an intersection of transactions and hence closed, and
+// the branch rooted at the first transaction of a set's cover reports its
+// full support. The merged output is emitted in canonical order, which
+// makes it deterministic regardless of scheduling.
+func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter) error {
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	minsup := opts.MinSupport
+	if minsup < 1 {
+		minsup = 1
+	}
+	workers := opts.workers()
+	if workers <= 1 {
+		return carpenter.Mine(db, carpenter.Options{
+			MinSupport: minsup,
+			Variant:    carpenter.Table,
+			ItemOrder:  opts.ItemOrder,
+			TransOrder: opts.TransOrder,
+			Done:       opts.Done,
+		}, rep)
+	}
+
+	ctl := mining.NewControl(opts.Done)
+	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
+	if prep.DB.Items == 0 || len(prep.DB.Trans) < minsup {
+		return nil
+	}
+	if err := ctl.Tick(); err != nil {
+		return err
+	}
+
+	brancher := carpenter.NewTableBrancher(prep, minsup, false)
+	branches := brancher.Branches()
+
+	// Round-robin assignment keeps each worker's branches in increasing
+	// first-transaction order, which the per-worker repository reuse
+	// requires, and is deterministic (though the merge would make any
+	// assignment deterministic).
+	merged := make([]*result.MaxMerger, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := result.NewMaxMerger()
+			merged[w] = m
+			worker := brancher.NewWorker(opts.Done, result.ReporterFunc(
+				func(items itemset.Set, supp int) { m.Add(items, supp) }))
+			for b := w; b < len(branches); b += workers {
+				if err := worker.Explore(branches[b]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Fold the per-worker merges into one and emit canonically.
+	total := result.NewMaxMerger()
+	for _, m := range merged {
+		m.Emit(1, result.ReporterFunc(func(items itemset.Set, supp int) {
+			total.Add(items, supp)
+		}))
+	}
+	if err := ctl.Tick(); err != nil {
+		return err
+	}
+	total.Emit(minsup, rep)
+	return nil
+}

@@ -1,0 +1,300 @@
+package parallel
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/result"
+)
+
+// MineIsTa runs IsTa sharded across opts.Workers goroutines and reports
+// every closed item set with support at least opts.MinSupport, in the
+// database's original item codes. The reported pattern set is identical to
+// core.Mine's on the same options; the emission order is deterministic but
+// differs from the sequential traversal order.
+func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	minsup := opts.MinSupport
+	if minsup < 1 {
+		minsup = 1
+	}
+	workers := opts.workers()
+	if workers <= 1 {
+		return core.Mine(db, core.Options{
+			MinSupport: minsup,
+			ItemOrder:  opts.ItemOrder,
+			TransOrder: opts.TransOrder,
+			Done:       opts.Done,
+		}, rep)
+	}
+
+	ctl := mining.NewControl(opts.Done)
+	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
+	pdb := prep.DB
+	if pdb.Items == 0 {
+		return nil
+	}
+	if err := ctl.Tick(); err != nil {
+		return err
+	}
+
+	// Phase 1: shard the prepared transactions round-robin (they are
+	// size-sorted, so round-robin balances both count and length) and mine
+	// every shard with a private tree. A globally frequent set X has
+	// shard support at least minsup - (n - n_i) — the other shards can
+	// contribute at most their sizes — so each shard may mine (and prune)
+	// at that floor; it degrades to 1 on many-transaction workloads,
+	// where no shard-local threshold above 1 is sound.
+	n := len(pdb.Trans)
+	shards := make([][]itemset.Set, workers)
+	for i, t := range pdb.Trans {
+		shards[i%workers] = append(shards[i%workers], t)
+	}
+	patterns := make([][]result.Pattern, workers) // shard-closed sets, prepared codes
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			floor := minsup - (n - len(shards[w]))
+			if floor < 1 {
+				floor = 1
+			}
+			patterns[w], errs[w] = mineShard(pdb.Items, shards[w], floor, opts.Done)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: build the merge tree. Every closed set of the full
+	// database is an intersection of shard-closed sets (one per shard
+	// that covers it), and replaying the shard results through the
+	// cumulative intersection pass creates a node for every such
+	// intersection. Node supports are NOT exact — the weighted replay
+	// sums shard supports, which overlap between nested closed sets of
+	// the same shard — but they over-count: a node's weighted support is
+	// at least the set's true support, so pruning the merge tree at
+	// minsup (with remain counts in replay weights) is sound and keeps
+	// the pass tractable; the surviving nodes are still a complete
+	// closure-candidate family for the frequent closed sets. Identical
+	// sets from different shards are combined up front by summing their
+	// weights — exactly equivalent to replaying both — and the replay
+	// runs in ascending set size, the fast order of §3.4.
+	// A shard whose closed-set count exceeds its transaction count gained
+	// nothing from closure "compression" (common on sparse basket data);
+	// replaying its raw transactions with weight 1 is cheaper and its
+	// contribution to every node's weighted support becomes exact —
+	// cl_i(X) is then itself an intersection of replayed transactions, so
+	// candidate completeness is unaffected.
+	type wpat struct {
+		items  itemset.Set
+		weight int
+	}
+	index := make(map[string]int)
+	var replay []wpat
+	addReplay := func(s itemset.Set, weight int) {
+		k := s.Key()
+		if i, ok := index[k]; ok {
+			replay[i].weight += weight
+		} else {
+			index[k] = len(replay)
+			replay = append(replay, wpat{s, weight})
+		}
+	}
+	for w, shard := range patterns {
+		if len(shard) >= len(shards[w]) {
+			for _, t := range shards[w] {
+				addReplay(t, 1)
+			}
+			continue
+		}
+		for _, p := range shard {
+			addReplay(p.Items, p.Support)
+		}
+	}
+	sort.Slice(replay, func(i, j int) bool {
+		if len(replay[i].items) != len(replay[j].items) {
+			return len(replay[i].items) < len(replay[j].items)
+		}
+		return itemset.Compare(replay[i].items, replay[j].items) < 0
+	})
+	remain := make([]int, pdb.Items)
+	for _, p := range replay {
+		for _, it := range p.items {
+			remain[it] += p.weight
+		}
+	}
+	mtree := core.NewTree(pdb.Items)
+	mtree.SetCancel(ctl.Canceled)
+	lastPruneNodes := 0
+	for _, p := range replay {
+		if err := ctl.Tick(); err != nil {
+			return err
+		}
+		mtree.AddWeighted(p.items, p.weight)
+		if mtree.Aborted() {
+			return mining.ErrCanceled
+		}
+		for _, it := range p.items {
+			remain[it] -= p.weight
+		}
+		if n := mtree.NodeCount(); n >= 4096 && n >= lastPruneNodes+lastPruneNodes/8 {
+			mtree.Prune(remain, minsup)
+			mtree.Compact()
+			lastPruneNodes = mtree.NodeCount()
+		}
+	}
+	var cands []itemset.Set
+	mtree.Walk(func(s itemset.Set, _ int) {
+		cands = append(cands, s)
+	})
+	if mtree.Aborted() {
+		return mining.ErrCanceled
+	}
+
+	// Phase 3: recompute every candidate's support exactly against the
+	// prepared database (vertical tid-list intersection with an early exit
+	// once the running count drops below minsup), fanned out across the
+	// workers again. Candidates are fixed before the fan-out and results
+	// land in a preallocated slice, so scheduling cannot affect the
+	// outcome.
+	vert := pdb.ToVertical()
+	supp := make([]int, len(cands))
+	var countErr error
+	var errOnce sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wctl := mining.NewControl(opts.Done)
+			var bufs [2][]int32
+			for i := w; i < len(cands); i += workers {
+				if err := wctl.Tick(); err != nil {
+					errOnce.Do(func() { countErr = err })
+					return
+				}
+				supp[i] = countSupport(vert, cands[i], minsup, &bufs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if countErr != nil {
+		return countErr
+	}
+
+	// Phase 4: drop infrequent candidates and filter out the non-closed
+	// ones: a candidate is closed iff no candidate strict superset has the
+	// same (exact) support, and the closure of every frequent candidate is
+	// itself a frequent candidate, so the same-support subsumption filter
+	// leaves exactly the closed frequent sets.
+	filt := result.NewSubsumeFilter()
+	for i, s := range cands {
+		if supp[i] >= minsup {
+			filt.Add(s, supp[i])
+		}
+	}
+	if err := ctl.Tick(); err != nil {
+		return err
+	}
+	filt.Emit(result.ReporterFunc(func(s itemset.Set, support int) {
+		rep.Report(prep.DecodeSet(s), support)
+	}))
+	return nil
+}
+
+// mineShard runs the cumulative intersection scheme over one shard and
+// returns its closed sets with shard support at least minsup (the sound
+// shard-local floor computed by the caller) in prepared item codes. When
+// the floor exceeds 1 the standard item-elimination pruning applies
+// shard-locally.
+func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{}) ([]result.Pattern, error) {
+	ctl := mining.NewControl(done)
+	tree := core.NewTree(items)
+	tree.SetCancel(ctl.Canceled)
+	var remain []int
+	if minsup > 1 {
+		remain = make([]int, items)
+		for _, t := range trans {
+			for _, it := range t {
+				remain[it]++
+			}
+		}
+	}
+	lastPruneNodes := 0
+	for _, t := range trans {
+		if err := ctl.Tick(); err != nil {
+			return nil, err
+		}
+		tree.AddTransaction(t)
+		if tree.Aborted() {
+			return nil, mining.ErrCanceled
+		}
+		if remain == nil {
+			continue
+		}
+		for _, it := range t {
+			remain[it]--
+		}
+		if n := tree.NodeCount(); n >= 4096 && n >= lastPruneNodes+lastPruneNodes/8 {
+			tree.Prune(remain, minsup)
+			tree.Compact()
+			lastPruneNodes = tree.NodeCount()
+		}
+	}
+	var out []result.Pattern
+	tree.Report(minsup, func(s itemset.Set, supp int) {
+		out = append(out, result.Pattern{Items: s, Support: supp})
+	})
+	if tree.Aborted() {
+		return nil, mining.ErrCanceled
+	}
+	return out, nil
+}
+
+// countSupport returns the exact support of items in the vertical view, or
+// 0 if it cannot reach minsup (an early exit; every value below minsup is
+// equivalent for the caller). bufs holds two reusable intersection buffers
+// so repeated calls do not allocate.
+func countSupport(v *dataset.Vertical, items itemset.Set, minsup int, bufs *[2][]int32) int {
+	cur := v.Tids[items[0]] // borrowed; never written
+	next := 0               // buffer to write the upcoming intersection into
+	for _, it := range items[1:] {
+		if len(cur) < minsup {
+			return 0
+		}
+		other := v.Tids[it]
+		out := bufs[next][:0]
+		i, j := 0, 0
+		for i < len(cur) && j < len(other) {
+			a, b := cur[i], other[j]
+			switch {
+			case a == b:
+				out = append(out, a)
+				i++
+				j++
+			case a < b:
+				i++
+			default:
+				j++
+			}
+		}
+		bufs[next] = out // keep the (possibly re-grown) buffer
+		cur = out
+		next = 1 - next
+	}
+	if len(cur) < minsup {
+		return 0
+	}
+	return len(cur)
+}

@@ -1,0 +1,54 @@
+// Package parallel implements multi-worker versions of the two
+// intersection miners, with a deterministic merge: for any fixed input and
+// options the reported pattern set is identical to the sequential miner's
+// (the test suite cross-checks this), regardless of scheduling and worker
+// count.
+//
+// Parallel IsTa shards the prepared transaction list across workers, each
+// of which runs the cumulative intersection scheme (§3.2 of the paper) on
+// its shard with a private prefix tree. The shard results are merged by
+// replaying every shard's closed sets as support-weighted transactions
+// (core.Tree.AddWeighted) into a merge tree: the closed sets of the full
+// database are intersections of per-shard closed sets, so the merge tree's
+// nodes form a complete closure-candidate family. Candidate supports are
+// then recomputed exactly against the prepared database and the
+// non-closed candidates are removed with the same-support subsumption
+// filter of internal/result. See DESIGN.md ("Parallel mining") for why
+// this reconstruction is exact.
+//
+// Parallel Carpenter-table fans the top-level transaction-set branches of
+// §3.1.2 out to a bounded worker pool with per-worker repositories
+// (carpenter.TableBrancher) and merges the per-worker reports with a
+// keep-the-maximum pass (result.MaxMerger).
+package parallel
+
+import (
+	"runtime"
+
+	"repro/internal/dataset"
+)
+
+// Options configures the parallel miners.
+type Options struct {
+	// MinSupport is the absolute minimum support; values < 1 act as 1.
+	MinSupport int
+	// Workers is the number of worker goroutines; values < 1 select
+	// runtime.GOMAXPROCS(0). With one worker the sequential miner runs
+	// unchanged.
+	Workers int
+	// ItemOrder / TransOrder select the preprocessing (§3.4), as in the
+	// sequential miners.
+	ItemOrder  dataset.ItemOrder
+	TransOrder dataset.TransOrder
+	// Done optionally cancels the run across all workers; the miner then
+	// returns mining.ErrCanceled.
+	Done <-chan struct{}
+}
+
+// workers resolves the worker count.
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}

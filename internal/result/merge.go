@@ -1,0 +1,56 @@
+package result
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// MaxMerger merges pattern streams from parallel workers that may report
+// the same item set more than once with different partial supports (e.g.
+// the parallel Carpenter branches, where a branch started inside a set's
+// cover counts only the tail of the cover). It keeps the maximum support
+// per item set — for such streams the maximum is the true support, because
+// the branch rooted at the first covering transaction counts the whole
+// cover — and emits in canonical order, so the merged output is
+// deterministic regardless of worker scheduling.
+type MaxMerger struct {
+	supp map[string]int
+	sets map[string]itemset.Set
+}
+
+// NewMaxMerger returns an empty merger.
+func NewMaxMerger() *MaxMerger {
+	return &MaxMerger{supp: make(map[string]int), sets: make(map[string]itemset.Set)}
+}
+
+// Add records one reported pattern; the items are copied.
+func (g *MaxMerger) Add(items itemset.Set, support int) {
+	k := items.Key()
+	if old, ok := g.supp[k]; !ok {
+		g.supp[k] = support
+		g.sets[k] = items.Clone()
+	} else if support > old {
+		g.supp[k] = support
+	}
+}
+
+// Len returns the number of distinct item sets recorded.
+func (g *MaxMerger) Len() int { return len(g.supp) }
+
+// Emit reports every recorded set whose merged support reaches minSupport,
+// in canonical item set order.
+func (g *MaxMerger) Emit(minSupport int, rep Reporter) {
+	keys := make([]string, 0, len(g.sets))
+	for k := range g.sets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return itemset.Compare(g.sets[keys[i]], g.sets[keys[j]]) < 0
+	})
+	for _, k := range keys {
+		if s := g.supp[k]; s >= minSupport {
+			rep.Report(g.sets[k], s)
+		}
+	}
+}
