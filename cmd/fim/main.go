@@ -10,9 +10,18 @@
 //
 // Output lines follow Borgelt's format: the items of the set separated by
 // spaces, followed by the absolute support in parentheses.
+//
+// Exit codes distinguish failure modes for scripting:
+//
+//	0  complete result written
+//	1  internal failure (I/O error writing output, miner fault)
+//	2  malformed input or bad flags — nothing mined
+//	3  deadline or budget exhausted — the output is a valid but
+//	   truncated prefix of the full result
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -29,7 +38,9 @@ func main() {
 		support = flag.Float64("support", 2, "minimum support: absolute if >= 1, else a fraction of the transactions")
 		out     = flag.String("out", "", "output file (default stdout)")
 		stats   = flag.Bool("stats", false, "print workload statistics and timing to stderr")
-		timeout = flag.Duration("timeout", 0, "optional wall-clock limit")
+		timeout = flag.Duration("timeout", 0, "optional wall-clock limit; on expiry the patterns found so far are written and fim exits 3")
+		maxPat  = flag.Int("max-patterns", 0, "stop after this many patterns (0 = unlimited); the truncated output is written and fim exits 3")
+		maxNode = flag.Int("max-nodes", 0, "cap the miner's repository (prefix-tree nodes / stored sets, 0 = unlimited); on excess fim writes the prefix found so far and exits 3")
 		par     = flag.Int("p", 0, "parallel workers for ista and carpenter-table (0 or 1 = sequential, -1 = all cores); the pattern set is identical to the sequential run")
 
 		expr      = flag.Bool("expr", false, "input is a gene expression matrix (CSV/TSV of log ratios), discretized per the paper's §4")
@@ -42,6 +53,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *target != "closed" && *target != "all" && *target != "maximal" {
+		failUsage(fmt.Errorf("unknown target %q (want closed, all or maximal)", *target))
+	}
+	if *target == "closed" && !knownAlgorithm(*algo) {
+		failUsage(fmt.Errorf("unknown algorithm %q (see -algo)", *algo))
+	}
+	if *timeout < 0 || *maxPat < 0 || *maxNode < 0 {
+		failUsage(errors.New("-timeout, -max-patterns and -max-nodes must not be negative"))
+	}
 
 	var db *fim.Database
 	var err error
@@ -51,7 +71,7 @@ func main() {
 		db, err = fim.ReadFile(flag.Arg(0))
 	}
 	if err != nil {
-		fail(err)
+		failUsage(err)
 	}
 	minsup := int(*support)
 	if *support > 0 && *support < 1 {
@@ -61,10 +81,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fim: workload %s, minsup %d\n", db.Stats(), minsup)
 	}
 
-	var done chan struct{}
+	opts := fim.Options{
+		MinSupport:   minsup,
+		Algorithm:    fim.Algorithm(*algo),
+		Parallelism:  *par,
+		MaxPatterns:  *maxPat,
+		MaxTreeNodes: *maxNode,
+	}
 	if *timeout > 0 {
-		done = make(chan struct{})
-		time.AfterFunc(*timeout, func() { close(done) })
+		opts.Deadline = time.Now().Add(*timeout)
 	}
 
 	start := time.Now()
@@ -72,40 +97,56 @@ func main() {
 	switch *target {
 	case "closed":
 		var set fim.ResultSet
-		err = fim.Mine(db, fim.Options{
-			MinSupport:  minsup,
-			Algorithm:   fim.Algorithm(*algo),
-			Done:        done,
-			Parallelism: *par,
-		}, set.Collect())
+		err = fim.Mine(db, opts, set.Collect())
 		patterns = &set
 	case "all":
 		patterns, err = fim.MineAll(db, minsup)
 	case "maximal":
 		patterns, err = fim.MineMaximal(db, minsup)
-	default:
-		fail(fmt.Errorf("unknown target %q", *target))
 	}
-	if err != nil {
+	// A tripped deadline, budget, or cancellation still produced a valid
+	// prefix of the result; write it before exiting so callers can use
+	// what was found.
+	truncated := errors.Is(err, fim.ErrDeadline) || errors.Is(err, fim.ErrBudget) ||
+		errors.Is(err, fim.ErrCanceled)
+	if err != nil && !truncated {
 		fail(err)
 	}
 	elapsed := time.Since(start)
 
 	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fail(err)
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			fail(cerr)
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := patterns.Write(w, db.Names); err != nil {
-		fail(err)
+	if werr := patterns.Write(w, db.Names); werr != nil {
+		fail(werr)
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr, "fim: %d %s sets in %s\n", patterns.Len(), *target, elapsed.Round(time.Millisecond))
 	}
+	if truncated {
+		if w != os.Stdout {
+			w.Close() // the deferred close will not run past os.Exit
+		}
+		fmt.Fprintf(os.Stderr, "fim: truncated: %v (%d patterns written)\n", err, patterns.Len())
+		os.Exit(3)
+	}
+}
+
+// knownAlgorithm reports whether name is one of the registered miners, so
+// a typo fails fast with exit 2 instead of after the database is loaded.
+func knownAlgorithm(name string) bool {
+	for _, a := range fim.Algorithms() {
+		if string(a) == name {
+			return true
+		}
+	}
+	return false
 }
 
 // loadExpression runs the paper's §4 pipeline: parse a log-ratio matrix
@@ -130,7 +171,16 @@ func loadExpression(path string, threshold float64, orient string) (*fim.Databas
 	return nil, fmt.Errorf("unknown orientation %q (want conditions or genes)", orient)
 }
 
+// fail reports an internal failure (exit 1): the input was fine but the
+// run could not complete or its output could not be written.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "fim:", err)
 	os.Exit(1)
+}
+
+// failUsage reports a usage error (exit 2): malformed input or bad flags;
+// nothing was mined.
+func failUsage(err error) {
+	fmt.Fprintln(os.Stderr, "fim:", err)
+	os.Exit(2)
 }

@@ -24,8 +24,11 @@
 package fim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/apriori"
 	"repro/internal/carpenter"
@@ -34,8 +37,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eclat"
 	"repro/internal/fpgrowth"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/lcm"
+	"repro/internal/mining"
 	"repro/internal/naive"
 	"repro/internal/parallel"
 	"repro/internal/result"
@@ -86,6 +91,31 @@ func Algorithms() []Algorithm {
 	return []Algorithm{IsTa, CarpenterTable, CarpenterLists, Cobbler, FPClose, LCM, EclatClosed, SaM, FlatCumulative}
 }
 
+// Partial-result errors. A mining run that stops early — canceled,
+// deadline exceeded, or budget exhausted — returns one of these typed
+// errors (match with errors.Is), and the patterns already reported form a
+// valid prefix of the full result: every reported pattern is a genuinely
+// closed frequent item set with its exact support, only the tail of the
+// enumeration is missing. See DESIGN.md §5b for the failure model.
+var (
+	// ErrCanceled reports cancellation through Options.Done (or a
+	// Context without its own error).
+	ErrCanceled = mining.ErrCanceled
+	// ErrDeadline reports that Options.Deadline (or the Context's
+	// deadline) passed before the run finished.
+	ErrDeadline = guard.ErrDeadline
+	// ErrBudget reports that Options.MaxPatterns or Options.MaxTreeNodes
+	// was exhausted; the returned error wraps ErrBudget with the specific
+	// bound.
+	ErrBudget = guard.ErrBudget
+)
+
+// PanicError is the error Mine returns when the selected miner — or a
+// Reporter callback — panicked: the panic is recovered, all worker
+// goroutines are drained, and the recovered value plus the panicking
+// goroutine's stack are carried in the error. Match with errors.As.
+type PanicError = guard.PanicError
+
 // Options configures Mine.
 type Options struct {
 	// MinSupport is the absolute minimum support (number of
@@ -96,6 +126,28 @@ type Options struct {
 	// Done, when closed, cancels the run; Mine returns an error and the
 	// already reported patterns form an incomplete prefix of the result.
 	Done <-chan struct{}
+	// Context, when non-nil, cancels the run when the context is done;
+	// Mine then returns the context's error (context.Canceled or
+	// context.DeadlineExceeded). A context deadline is additionally
+	// enforced through the budget checks, in which case it surfaces as
+	// ErrDeadline. May be combined with Done.
+	Context context.Context
+	// Deadline, when non-zero, bounds the run by wall clock; Mine returns
+	// ErrDeadline once it passes, and the already reported patterns form a
+	// valid prefix of the result.
+	Deadline time.Time
+	// MaxPatterns, when positive, caps the number of reported patterns;
+	// Mine reports at most MaxPatterns patterns and returns an error
+	// wrapping ErrBudget if the cap cut the result off.
+	MaxPatterns int
+	// MaxTreeNodes, when positive, caps the size of the miner's
+	// repository (prefix-tree nodes for IsTa and the flat scheme, stored
+	// sets for Carpenter/Cobbler; per worker in a parallel run) to bound
+	// memory on dense inputs whose repository would otherwise grow
+	// exponentially. Mine returns an error wrapping ErrBudget once the
+	// cap is exceeded. Algorithms without a repository (FP-close, LCM,
+	// Eclat, SaM, Apriori) ignore the field.
+	MaxTreeNodes int
 	// Parallelism selects the number of worker goroutines for the
 	// algorithms with a parallel engine (IsTa and CarpenterTable): 0 or 1
 	// run the sequential miner unchanged, n >= 2 runs n workers, and
@@ -110,50 +162,131 @@ type Options struct {
 // selected algorithm. All algorithms produce the identical pattern set
 // (the test suite cross-checks them); they differ in performance
 // characteristics — see DESIGN.md and the fimbench tool.
-func Mine(db *Database, opts Options, rep Reporter) error {
+//
+// Mine is the guarded entry point: cancellation (Done / Context), the
+// wall-clock Deadline, and the MaxPatterns / MaxTreeNodes budgets stop
+// the run with the corresponding typed error while the already reported
+// patterns remain a valid prefix of the result, and a panic anywhere in
+// the selected miner or in rep is contained and returned as a
+// *PanicError instead of crashing the process.
+func Mine(db *Database, opts Options, rep Reporter) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = guard.NewPanicError(r)
+		}
+	}()
+
+	// Fold the context into the done channel and the effective deadline.
+	done := opts.Done
+	deadline := opts.Deadline
+	if ctx := opts.Context; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+			deadline = d
+		}
+		if done == nil {
+			done = ctx.Done()
+		} else {
+			// A done channel closed before the run starts must cancel
+			// deterministically (matching the unmerged path, whose first
+			// tick polls immediately); the merge goroutine alone could
+			// lose that race against a fast run.
+			select {
+			case <-done:
+				return mining.ErrCanceled
+			default:
+			}
+			merged := make(chan struct{})
+			stop := make(chan struct{})
+			defer close(stop)
+			go func(src <-chan struct{}) {
+				select {
+				case <-ctx.Done():
+				case <-src:
+				case <-stop:
+					return
+				}
+				close(merged)
+			}(done)
+			done = merged
+		}
+	}
+
+	budget := guard.Budget{
+		Deadline:     deadline,
+		MaxPatterns:  opts.MaxPatterns,
+		MaxTreeNodes: opts.MaxTreeNodes,
+	}
+	var g *guard.Guard
+	if budget.Enabled() {
+		g = guard.New(budget)
+		rep = guard.Limit(g, rep)
+	}
+
+	err = mine(db, opts, g, done, rep)
+
+	// Surface the most specific cause. A budget trip can race a (or be
+	// reported as a) generic cancellation, and a pattern budget reached on
+	// the very last patterns lets the miner finish without error; the
+	// guard's latched error is authoritative in both cases. A plain
+	// cancellation driven by the context reports the context's error.
+	if cause := g.Err(); cause != nil && (err == nil || errors.Is(err, mining.ErrCanceled)) {
+		err = cause
+	}
+	if errors.Is(err, mining.ErrCanceled) && opts.Context != nil && opts.Context.Err() != nil {
+		err = opts.Context.Err()
+	}
+	return err
+}
+
+// mine dispatches to the selected algorithm with the resolved done
+// channel and guard.
+func mine(db *Database, opts Options, g *guard.Guard, done <-chan struct{}, rep Reporter) error {
 	par := opts.Parallelism < 0 || opts.Parallelism >= 2
 	switch opts.Algorithm {
 	case IsTa, "":
 		if par {
 			return parallel.MineIsTa(db, parallel.Options{
-				MinSupport: opts.MinSupport, Workers: opts.Parallelism, Done: opts.Done,
+				MinSupport: opts.MinSupport, Workers: opts.Parallelism, Done: done, Guard: g,
 			}, rep)
 		}
-		return core.Mine(db, core.Options{MinSupport: opts.MinSupport, Done: opts.Done}, rep)
+		return core.Mine(db, core.Options{MinSupport: opts.MinSupport, Done: done, Guard: g}, rep)
 	case CarpenterTable:
 		if par {
 			return parallel.MineCarpenterTable(db, parallel.Options{
-				MinSupport: opts.MinSupport, Workers: opts.Parallelism, Done: opts.Done,
+				MinSupport: opts.MinSupport, Workers: opts.Parallelism, Done: done, Guard: g,
 			}, rep)
 		}
 		return carpenter.Mine(db, carpenter.Options{
-			MinSupport: opts.MinSupport, Variant: carpenter.Table, Done: opts.Done,
+			MinSupport: opts.MinSupport, Variant: carpenter.Table, Done: done, Guard: g,
 		}, rep)
 	case CarpenterLists:
 		return carpenter.Mine(db, carpenter.Options{
-			MinSupport: opts.MinSupport, Variant: carpenter.Lists, Done: opts.Done,
+			MinSupport: opts.MinSupport, Variant: carpenter.Lists, Done: done, Guard: g,
 		}, rep)
 	case FPClose:
 		return fpgrowth.Mine(db, fpgrowth.Options{
-			MinSupport: opts.MinSupport, Target: fpgrowth.Closed, Done: opts.Done,
+			MinSupport: opts.MinSupport, Target: fpgrowth.Closed, Done: done, Guard: g,
 		}, rep)
 	case LCM:
-		return lcm.Mine(db, lcm.Options{MinSupport: opts.MinSupport, Done: opts.Done}, rep)
+		return lcm.Mine(db, lcm.Options{MinSupport: opts.MinSupport, Done: done, Guard: g}, rep)
 	case EclatClosed:
 		return eclat.Mine(db, eclat.Options{
-			MinSupport: opts.MinSupport, Target: eclat.Closed, Done: opts.Done,
+			MinSupport: opts.MinSupport, Target: eclat.Closed, Done: done, Guard: g,
 		}, rep)
 	case Cobbler:
 		return cobbler.Mine(db, cobbler.Options{
-			MinSupport: opts.MinSupport, Done: opts.Done,
+			MinSupport: opts.MinSupport, Done: done, Guard: g,
 		}, rep)
 	case SaM:
 		return sam.Mine(db, sam.Options{
-			MinSupport: opts.MinSupport, Target: sam.Closed, Done: opts.Done,
+			MinSupport: opts.MinSupport, Target: sam.Closed, Done: done, Guard: g,
 		}, rep)
 	case FlatCumulative:
 		return naive.FlatCumulative(db, naive.FlatOptions{
-			MinSupport: opts.MinSupport, Done: opts.Done,
+			MinSupport: opts.MinSupport, Done: done, Guard: g,
 		}, rep)
 	}
 	return fmt.Errorf("fim: unknown algorithm %q", opts.Algorithm)

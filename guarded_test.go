@@ -1,0 +1,316 @@
+package fim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// guardDB returns a deterministic database dense enough that every
+// algorithm performs many cooperative tick checks, grows a non-trivial
+// repository, and reports well over the budgets the conformance suite
+// imposes.
+func guardDB() *Database {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]int, 48)
+	for i := range rows {
+		n := 4 + rng.Intn(5)
+		row := make([]int, 0, n)
+		seen := make(map[int]bool)
+		for len(row) < n {
+			it := rng.Intn(14)
+			if !seen[it] {
+				seen[it] = true
+				row = append(row, it)
+			}
+		}
+		rows[i] = row
+	}
+	return NewDatabase(rows)
+}
+
+// guardCases enumerates every algorithm, plus the parallel engines at
+// four workers (their sequential fallback is covered by the plain runs).
+type guardCase struct {
+	name string
+	algo Algorithm
+	par  int
+}
+
+func guardCases() []guardCase {
+	var cases []guardCase
+	for _, a := range Algorithms() {
+		cases = append(cases, guardCase{name: string(a), algo: a})
+	}
+	cases = append(cases,
+		guardCase{name: "ista-parallel", algo: IsTa, par: 4},
+		guardCase{name: "carpenter-table-parallel", algo: CarpenterTable, par: 4},
+	)
+	return cases
+}
+
+// assertPrefix checks the partial-result contract: every reported pattern
+// must appear in the full sequential result with the exact same support.
+func assertPrefix(t *testing.T, ref, got *ResultSet) {
+	t.Helper()
+	refm := make(map[string]int, ref.Len())
+	for _, p := range ref.Patterns {
+		refm[p.Items.Key()] = p.Support
+	}
+	for _, p := range got.Patterns {
+		supp, ok := refm[p.Items.Key()]
+		if !ok {
+			t.Errorf("partial result contains %v, which is not in the full result", p)
+		} else if supp != p.Support {
+			t.Errorf("partial result reports %v with support %d, full result has %d", p.Items, p.Support, supp)
+		}
+	}
+}
+
+// TestGuardedConformance drives every algorithm through the injected
+// faults of internal/faultinject and asserts the failure model of
+// DESIGN.md §5b: the documented typed error, a valid prefix of the
+// sequential result, and no leaked goroutines.
+func TestGuardedConformance(t *testing.T) {
+	db := guardDB()
+	const minsup = 2
+	ref, err := MineClosed(db, minsup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Len() < 32 {
+		t.Fatalf("conformance database too easy: only %d closed sets", ref.Len())
+	}
+
+	for _, tc := range guardCases() {
+		opts := Options{MinSupport: minsup, Algorithm: tc.algo, Parallelism: tc.par}
+
+		t.Run(tc.name+"/reporter-panic", func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			var got ResultSet
+			err := Mine(db, opts, faultinject.FailingReporter(3, got.Collect()))
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error = %v, want *PanicError", err)
+			}
+			if _, ok := pe.Value.(faultinject.ReporterFault); !ok {
+				t.Fatalf("contained panic value = %#v, want ReporterFault", pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("PanicError carries no stack")
+			}
+			if got.Len() != 2 {
+				t.Errorf("reported %d patterns before the fault, want 2", got.Len())
+			}
+			assertPrefix(t, ref, &got)
+		})
+
+		t.Run(tc.name+"/reporter-flaky", func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			var got ResultSet
+			if err := Mine(db, opts, faultinject.FlakyReporter(3, got.Collect())); err != nil {
+				t.Fatalf("a lossy reporter must not fail the run: %v", err)
+			}
+			if got.Len() != ref.Len()-ref.Len()/3 {
+				t.Errorf("flaky reporter kept %d of %d patterns, want %d", got.Len(), ref.Len(), ref.Len()-ref.Len()/3)
+			}
+			assertPrefix(t, ref, &got)
+		})
+
+		t.Run(tc.name+"/worker-panic-at-tick", func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			restore := faultinject.PanicAtTick(10)
+			defer restore()
+			var got ResultSet
+			err := Mine(db, opts, got.Collect())
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error = %v, want *PanicError", err)
+			}
+			if _, ok := pe.Value.(faultinject.TickFault); !ok {
+				t.Fatalf("contained panic value = %#v, want TickFault", pe.Value)
+			}
+			assertPrefix(t, ref, &got)
+		})
+
+		t.Run(tc.name+"/deadline-at-tick", func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			restore := faultinject.DeadlineAtTick(10)
+			defer restore()
+			var got ResultSet
+			err := Mine(db, opts, got.Collect())
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("error = %v, want ErrDeadline", err)
+			}
+			assertPrefix(t, ref, &got)
+		})
+
+		t.Run(tc.name+"/deadline-expired", func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			var got ResultSet
+			err := Mine(db, Options{
+				MinSupport: minsup, Algorithm: tc.algo, Parallelism: tc.par,
+				Deadline: time.Now().Add(-time.Second),
+			}, got.Collect())
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("error = %v, want ErrDeadline", err)
+			}
+			assertPrefix(t, ref, &got)
+		})
+
+		t.Run(tc.name+"/pattern-budget", func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			max := ref.Len() / 2
+			var got ResultSet
+			err := Mine(db, Options{
+				MinSupport: minsup, Algorithm: tc.algo, Parallelism: tc.par,
+				MaxPatterns: max,
+			}, got.Collect())
+			if !errors.Is(err, ErrBudget) {
+				t.Fatalf("error = %v, want ErrBudget", err)
+			}
+			if got.Len() != max {
+				t.Errorf("reported %d patterns, want exactly the budget %d", got.Len(), max)
+			}
+			assertPrefix(t, ref, &got)
+		})
+
+		t.Run(tc.name+"/pattern-budget-not-hit", func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			var got ResultSet
+			err := Mine(db, Options{
+				MinSupport: minsup, Algorithm: tc.algo, Parallelism: tc.par,
+				MaxPatterns: ref.Len(),
+			}, got.Collect())
+			if err != nil {
+				t.Fatalf("budget exactly equal to the result size must not trip: %v", err)
+			}
+			if !got.Equal(ref) {
+				t.Errorf("guarded run with untripped budget differs:\n%s", got.Diff(ref, 10))
+			}
+		})
+
+		t.Run(tc.name+"/context-canceled", func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			var got ResultSet
+			err := Mine(db, Options{
+				MinSupport: minsup, Algorithm: tc.algo, Parallelism: tc.par,
+				Context: ctx,
+			}, got.Collect())
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error = %v, want context.Canceled", err)
+			}
+			assertPrefix(t, ref, &got)
+		})
+	}
+}
+
+// TestGuardedNodeBudget covers MaxTreeNodes for the repository-based
+// miners (the enumeration baselines have no repository and ignore it).
+func TestGuardedNodeBudget(t *testing.T) {
+	db := guardDB()
+	const minsup = 2
+	ref, err := MineClosed(db, minsup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []guardCase{
+		{name: "ista", algo: IsTa},
+		{name: "ista-parallel", algo: IsTa, par: 4},
+		{name: "carpenter-table", algo: CarpenterTable},
+		{name: "carpenter-table-parallel", algo: CarpenterTable, par: 4},
+		{name: "carpenter-lists", algo: CarpenterLists},
+		{name: "cobbler", algo: Cobbler},
+		{name: "flat", algo: FlatCumulative},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			var got ResultSet
+			err := Mine(db, Options{
+				MinSupport: minsup, Algorithm: tc.algo, Parallelism: tc.par,
+				MaxTreeNodes: 8,
+			}, got.Collect())
+			if !errors.Is(err, ErrBudget) {
+				t.Fatalf("error = %v, want ErrBudget", err)
+			}
+			assertPrefix(t, ref, &got)
+		})
+	}
+}
+
+// TestGuardedTreePanic injects a panic into prefix-tree node allocation;
+// for the parallel engine the panic fires inside a shard worker.
+func TestGuardedTreePanic(t *testing.T) {
+	db := guardDB()
+	ref, err := MineClosed(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 4} {
+		name := "sequential"
+		if par > 1 {
+			name = "parallel"
+		}
+		t.Run(name, func(t *testing.T) {
+			defer faultinject.LeakCheck(t)()
+			restore := faultinject.PanicAtTreeNode(24)
+			defer restore()
+			var got ResultSet
+			err := Mine(db, Options{MinSupport: 2, Parallelism: par}, got.Collect())
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error = %v, want *PanicError", err)
+			}
+			if _, ok := pe.Value.(faultinject.TreeFault); !ok {
+				t.Fatalf("contained panic value = %#v, want TreeFault", pe.Value)
+			}
+			assertPrefix(t, ref, &got)
+		})
+	}
+}
+
+// TestGuardedContextAndDone exercises the merged cancellation path (both
+// Context and Done set) and checks the merge goroutine does not leak.
+func TestGuardedContextAndDone(t *testing.T) {
+	defer faultinject.LeakCheck(t)()
+	db := guardDB()
+
+	// Neither fires: the run completes and the merge goroutine is reaped.
+	ctx := context.Background()
+	done := make(chan struct{})
+	var got ResultSet
+	if err := Mine(db, Options{MinSupport: 2, Context: ctx, Done: done}, got.Collect()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The done channel fires: ErrCanceled, not a context error.
+	closed := make(chan struct{})
+	close(closed)
+	err := Mine(db, Options{MinSupport: 2, Context: context.Background(), Done: closed},
+		ReporterFunc(func(ItemSet, int) {}))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error = %v, want ErrCanceled", err)
+	}
+}
+
+// TestGuardedDeadlineVsContext: an Options.Deadline earlier than the
+// context's own deadline must surface as ErrDeadline.
+func TestGuardedDeadlineVsContext(t *testing.T) {
+	defer faultinject.LeakCheck(t)()
+	db := guardDB()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	err := Mine(db, Options{
+		MinSupport: 2, Context: ctx, Deadline: time.Now().Add(-time.Second),
+	}, ReporterFunc(func(ItemSet, int) {}))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("error = %v, want ErrDeadline", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -37,6 +38,9 @@ type Options struct {
 	Target Target
 	// Done optionally cancels the run.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline and pattern budget). May
+	// be nil.
+	Guard *guard.Guard
 }
 
 // Mine runs Apriori on db, reporting patterns in original item codes.
@@ -48,7 +52,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	if minsup < 1 {
 		minsup = 1
 	}
-	ctl := mining.NewControl(opts.Done)
+	ctl := mining.Guarded(opts.Done, opts.Guard)
 	prep := dataset.Prepare(db, minsup, dataset.OrderKeep, dataset.OrderOriginal)
 	pdb := prep.DB
 	if pdb.Items == 0 {

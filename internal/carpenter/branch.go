@@ -12,6 +12,7 @@ package carpenter
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -100,10 +101,10 @@ type TableWorker struct {
 }
 
 // NewWorker returns a fresh worker with its own repository and
-// cancellation control; rep receives the worker's (possibly duplicate or
-// partial-support) reports in prepared item codes decoded to original
-// codes.
-func (b *TableBrancher) NewWorker(done <-chan struct{}, rep result.Reporter) *TableWorker {
+// cancellation control on the shared guard g (which may be nil); rep
+// receives the worker's (possibly duplicate or partial-support) reports
+// in prepared item codes decoded to original codes.
+func (b *TableBrancher) NewWorker(done <-chan struct{}, g *guard.Guard, rep result.Reporter) *TableWorker {
 	return &TableWorker{m: &miner{
 		minsup: b.minsup,
 		n:      b.n,
@@ -111,14 +112,17 @@ func (b *TableBrancher) NewWorker(done <-chan struct{}, rep result.Reporter) *Ta
 		repo:   newRepoTree(b.prep.DB.Items),
 		prep:   b.prep,
 		rep:    rep,
-		ctl:    mining.NewControl(done),
+		ctl:    mining.Guarded(done, g),
 		matrix: b.matrix,
 	}}
 }
 
-// Explore runs one branch to completion; it returns mining.ErrCanceled if
-// the worker's done channel fired.
-func (w *TableWorker) Explore(br TableBranch) error {
+// Explore runs one branch to completion. It returns mining.ErrCanceled if
+// the worker's done channel fired, the guard's typed error if a budget
+// tripped, and a *guard.PanicError if the branch panicked — the panic is
+// contained here so a worker goroutine can never crash the process.
+func (w *TableWorker) Explore(br TableBranch) (err error) {
+	defer guard.Recover(&err)
 	items := append([]itemset.Item(nil), br.items...)
 	return w.m.exploreTable(items, 1, br.First+1)
 }

@@ -2,6 +2,7 @@ package carpenter
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -49,6 +50,9 @@ type Options struct {
 	HashRepository bool
 	// Done optionally cancels the run.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline, pattern budget, and
+	// repository size via its node budget). May be nil.
+	Guard *guard.Guard
 }
 
 // Mine enumerates transaction sets per §3.1 and reports every closed item
@@ -73,7 +77,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		elim:   !opts.DisableElimination,
 		prep:   prep,
 		rep:    rep,
-		ctl:    mining.NewControl(opts.Done),
+		ctl:    mining.Guarded(opts.Done, opts.Guard),
 	}
 	if opts.HashRepository {
 		m.repo = newHashRepo()
@@ -231,7 +235,9 @@ func (m *miner) exploreTable(items []itemset.Item, kSize, ell int) error {
 
 // report emits the set (after a final repository check — the set may have
 // been inserted by a sibling branch through a different transaction
-// prefix) and records it in the repository.
+// prefix) and records it in the repository. The repository size is
+// polled against the guard's node budget; a tripped budget surfaces at
+// the caller's next Tick.
 func (m *miner) report(s itemset.Set, support int) {
 	if len(s) == 0 {
 		return
@@ -240,5 +246,8 @@ func (m *miner) report(s itemset.Set, support int) {
 		return
 	}
 	m.repo.Insert(s)
+	if m.ctl.PollNodes(m.repo.Len()) != nil {
+		return
+	}
 	m.rep.Report(m.prep.DecodeSet(s), support)
 }

@@ -19,6 +19,7 @@ package cobbler
 import (
 	"repro/internal/carpenter"
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -36,6 +37,9 @@ type Options struct {
 	RowThreshold int
 	// Done optionally cancels the run.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline, pattern budget, and
+	// reported-set repository size via its node budget). May be nil.
+	Guard *guard.Guard
 }
 
 // defaultRowThreshold balances the two search styles: row enumeration is
@@ -69,7 +73,8 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		db:        pdb,
 		prep:      prep,
 		rep:       rep,
-		ctl:       mining.NewControl(opts.Done),
+		ctl:       mining.Guarded(opts.Done, opts.Guard),
+		guard:     opts.Guard,
 		reported:  make(map[string]bool),
 	}
 
@@ -103,6 +108,7 @@ type miner struct {
 	prep      *dataset.Prepared
 	rep       result.Reporter
 	ctl       *mining.Control
+	guard     *guard.Guard
 	cfi       result.CFITree
 	reported  map[string]bool
 }
@@ -181,6 +187,7 @@ func (m *miner) rowEnumerate(tids []int32) error {
 		MinSupport: m.minsup,
 		Variant:    carpenter.Table,
 		Done:       doneOf(m.ctl),
+		Guard:      m.guard,
 	}, result.ReporterFunc(func(items itemset.Set, supp int) {
 		// Carpenter reports in sub's codes, which are this miner's
 		// prepared codes (Prepare inside carpenter keeps a bijection that
@@ -190,7 +197,9 @@ func (m *miner) rowEnumerate(tids []int32) error {
 }
 
 // emit reports a closed set once, in original item codes, and records it
-// in both deduplication structures.
+// in both deduplication structures. The deduplication map doubles as the
+// repository the guard's node budget bounds; a tripped budget surfaces at
+// the next Tick.
 func (m *miner) emit(items itemset.Set, supp int) {
 	k := items.Key()
 	if m.reported[k] {
@@ -198,6 +207,9 @@ func (m *miner) emit(items itemset.Set, supp int) {
 	}
 	m.reported[k] = true
 	m.cfi.Insert(items, supp)
+	if m.ctl.PollNodes(len(m.reported)) != nil {
+		return
+	}
 	m.rep.Report(m.prep.DecodeSet(items), supp)
 }
 

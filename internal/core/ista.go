@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -25,6 +26,10 @@ type Options struct {
 	// Done optionally cancels the run; Mine then returns
 	// mining.ErrCanceled.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline, pattern and tree-node
+	// budgets); Mine then returns the guard's typed error once a bound
+	// trips. May be nil.
+	Guard *guard.Guard
 }
 
 // pruneMinNodes avoids pruning while the tree is trivially small.
@@ -41,7 +46,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	if minsup < 1 {
 		minsup = 1
 	}
-	ctl := mining.NewControl(opts.Done)
+	ctl := mining.Guarded(opts.Done, opts.Guard)
 
 	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
 	pdb := prep.DB
@@ -58,9 +63,12 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	}
 
 	tree := NewTree(pdb.Items)
-	// Poll cancellation inside the intersection passes too: a single pass
-	// over a large tree would otherwise delay a timeout arbitrarily.
-	tree.SetCancel(ctl.Canceled)
+	// Poll cancellation and the node budget inside the intersection passes
+	// too: a single pass over a large tree can both exceed the budget (the
+	// pass creates the intersection nodes) and delay a timeout arbitrarily.
+	tree.SetCancel(func() bool {
+		return ctl.PollNodes(tree.NodeCount()) != nil || ctl.Canceled()
+	})
 	lastPruneNodes := 0
 	for _, t := range pdb.Trans {
 		if err := ctl.Tick(); err != nil {
@@ -68,7 +76,10 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		}
 		tree.AddTransaction(t)
 		if tree.Aborted() {
-			return mining.ErrCanceled
+			return ctl.Cause()
+		}
+		if err := ctl.PollNodes(tree.NodeCount()); err != nil {
+			return err
 		}
 		if remain == nil {
 			continue
@@ -106,7 +117,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		return err
 	}
 	if tree.Aborted() {
-		return mining.ErrCanceled
+		return ctl.Cause()
 	}
 	return nil
 }

@@ -41,8 +41,18 @@ type arena struct {
 
 const arenaBlock = 8192
 
+// TestHookAlloc, when non-nil, is called with the arena's live node count
+// after every node allocation. It is a fault-injection seam
+// (internal/faultinject uses it to panic at node N, inside whatever
+// goroutine grows the tree); it must only be set while no mining run is
+// active.
+var TestHookAlloc func(live int)
+
 func (a *arena) alloc() *node {
 	a.live++
+	if h := TestHookAlloc; h != nil {
+		h(a.live)
+	}
 	if n := a.free; n != nil {
 		a.free = n.sibling
 		*n = node{}

@@ -373,6 +373,23 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteBadNameCode: an item code outside the name table must surface
+// as a descriptive error, not an index-out-of-range panic.
+func TestWriteBadNameCode(t *testing.T) {
+	db := FromInts([]int{0, 1, 2})
+	db.Names = []string{"a", "b"} // code 2 has no name
+	var sb strings.Builder
+	err := Write(&sb, db)
+	if err == nil {
+		t.Fatal("expected error for item code outside the name table")
+	}
+	for _, frag := range []string{"transaction 0", "item code 2", "2 names"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
 func TestFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/db.dat"

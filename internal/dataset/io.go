@@ -103,10 +103,11 @@ func dedup(t itemset.Set) itemset.Set {
 }
 
 // Write renders db in the FIMI format accepted by Read. If db.Names is
-// non-nil the names are written instead of codes.
+// non-nil the names are written instead of codes; an item code outside the
+// name table is an error, not a panic.
 func Write(w io.Writer, db *Database) error {
 	bw := bufio.NewWriter(w)
-	for _, t := range db.Trans {
+	for k, t := range db.Trans {
 		for i, it := range t {
 			if i > 0 {
 				if err := bw.WriteByte(' '); err != nil {
@@ -115,6 +116,9 @@ func Write(w io.Writer, db *Database) error {
 			}
 			var tok string
 			if db.Names != nil {
+				if int(it) < 0 || int(it) >= len(db.Names) {
+					return fmt.Errorf("dataset: transaction %d holds item code %d outside the name table (%d names)", k, it, len(db.Names))
+				}
 				tok = db.Names[it]
 			} else {
 				tok = strconv.Itoa(int(it))

@@ -10,6 +10,7 @@ package eclat
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -35,6 +36,9 @@ type Options struct {
 	Target Target
 	// Done optionally cancels the run.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline and pattern budget). May
+	// be nil.
+	Guard *guard.Guard
 }
 
 // ext is one extension candidate at a search node: an item and the tid
@@ -64,7 +68,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		target: opts.Target,
 		prep:   prep,
 		rep:    rep,
-		ctl:    mining.NewControl(opts.Done),
+		ctl:    mining.Guarded(opts.Done, opts.Guard),
 	}
 	if opts.Target == Maximal {
 		// Mine closed sets into a buffer and post-filter: the maximal

@@ -1,0 +1,44 @@
+package faultinject
+
+import (
+	"runtime"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a verifier to be
+// deferred at the end of the test: it fails the test if, after a settling
+// grace period, more goroutines are alive than at the snapshot. Faulted
+// mining runs must drain their worker pools completely, so the count must
+// return to the baseline.
+//
+//	defer faultinject.LeakCheck(t)()
+func LeakCheck(tb testingTB) func() {
+	tb.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		tb.Errorf("goroutine leak: %d before, %d after settling\n%s", before, now, buf)
+	}
+}
+
+// testingTB is the subset of testing.TB LeakCheck needs; avoiding the
+// real interface keeps package testing out of non-test builds that import
+// faultinject.
+type testingTB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}

@@ -16,6 +16,7 @@ package fpgrowth
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -39,6 +40,9 @@ type Options struct {
 	Target Target
 	// Done optionally cancels the run.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline and pattern budget). May
+	// be nil.
+	Guard *guard.Guard
 }
 
 // fpNode is one FP-tree node.
@@ -115,7 +119,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		target: opts.Target,
 		prep:   prep,
 		rep:    rep,
-		ctl:    mining.NewControl(opts.Done),
+		ctl:    mining.Guarded(opts.Done, opts.Guard),
 	}
 	prefix := make(itemset.Set, 0, 32)
 	return m.mine(tree, prefix)

@@ -1,0 +1,46 @@
+package guard
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// PanicError is the contained form of a panic that escaped a mining
+// worker or a reporter callback: the guarded execution layer recovers the
+// panic, joins the worker pool without leaking goroutines, and returns
+// the panic as an ordinary error carrying the recovered value and the
+// stack of the panicking goroutine.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted stack trace of the panicking goroutine,
+	// captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("mining panicked: %v", e.Value)
+}
+
+// NewPanicError wraps a recovered panic value. If v already is a
+// *PanicError (a panic contained once and rethrown across a layer) it is
+// returned unchanged so the original stack survives.
+func NewPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	buf := make([]byte, 64<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	return &PanicError{Value: v, Stack: buf}
+}
+
+// Recover is the worker-side containment hook: deferred at the top of a
+// goroutine or call whose error lands in *errp, it converts a panic into
+// a *PanicError without overwriting an error already recorded there.
+//
+//	defer guard.Recover(&errs[w])
+func Recover(errp *error) {
+	if r := recover(); r != nil && *errp == nil {
+		*errp = NewPanicError(r)
+	}
+}

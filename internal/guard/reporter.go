@@ -1,0 +1,22 @@
+package guard
+
+import (
+	"repro/internal/itemset"
+	"repro/internal/result"
+)
+
+// Limit wraps rep so that reports are counted against g's pattern budget
+// and suppressed once it is exhausted: the stream seen by rep is exactly
+// the first MaxPatterns patterns of the unguarded stream. The mining run
+// notices the tripped guard at its next cooperative check and stops with
+// the guard's error.
+func Limit(g *Guard, rep result.Reporter) result.Reporter {
+	if g == nil {
+		return rep
+	}
+	return result.ReporterFunc(func(items itemset.Set, support int) {
+		if g.CountPattern() {
+			rep.Report(items, support)
+		}
+	})
+}

@@ -8,6 +8,7 @@ package lcm
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -19,6 +20,9 @@ type Options struct {
 	MinSupport int
 	// Done optionally cancels the run.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline and pattern budget). May
+	// be nil.
+	Guard *guard.Guard
 }
 
 // Mine runs the closed-set enumeration on db, reporting patterns in
@@ -42,7 +46,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		db:     pdb,
 		prep:   prep,
 		rep:    rep,
-		ctl:    mining.NewControl(opts.Done),
+		ctl:    mining.Guarded(opts.Done, opts.Guard),
 	}
 
 	// Root: the closure of the full transaction set.

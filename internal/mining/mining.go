@@ -1,10 +1,15 @@
 // Package mining holds the small pieces of machinery shared by every
 // miner: cooperative cancellation (so the bench harness can cut off the
-// enumeration baselines exactly where the paper's plots do) and the common
-// error values.
+// enumeration baselines exactly where the paper's plots do), resource
+// guards (internal/guard budgets threaded through the same tick checks),
+// and the common error values.
 package mining
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/guard"
+)
 
 // ErrCanceled is returned by a miner whose run was canceled through its
 // Done channel. Partial results already reported remain valid patterns but
@@ -12,17 +17,41 @@ import "errors"
 var ErrCanceled = errors.New("mining: canceled")
 
 // checkInterval balances cancellation latency against overhead; the check
-// is a single atomic-free counter decrement in the common case.
-const checkInterval = 4096
+// is a single atomic-free counter decrement in the common case. It is a
+// variable only for the fault-injection test seam (SetCheckInterval).
+var checkInterval = 4096
 
-// Control performs cheap cooperative cancellation checks inside mining
-// loops. The zero value (or a nil *Control) never cancels. A Control is
-// not safe for concurrent use; give each worker goroutine its own Control
-// on the same done channel.
+// SetCheckInterval overrides the amortization interval of all Controls
+// created afterwards (and of existing Controls at their next budget
+// reset) and returns a function restoring the previous value. It exists
+// for deterministic fault-injection tests (internal/faultinject) and must
+// only be called while no mining run is active.
+func SetCheckInterval(n int) (restore func()) {
+	if n < 1 {
+		n = 1
+	}
+	prev := checkInterval
+	checkInterval = n
+	return func() { checkInterval = prev }
+}
+
+// TickHook, when non-nil, is invoked on every amortized tick check of
+// every Control. A non-nil return value latches into the Control and
+// aborts the run; a panic propagates into the mining code exactly like a
+// real in-worker fault. It is a fault-injection seam
+// (internal/faultinject) and must only be set while no mining run is
+// active.
+var TickHook func() error
+
+// Control performs cheap cooperative cancellation and budget checks
+// inside mining loops. The zero value (or a nil *Control) never cancels.
+// A Control is not safe for concurrent use; give each worker goroutine
+// its own Control on the same done channel and shared Guard.
 type Control struct {
-	done     <-chan struct{}
-	budget   int
-	canceled bool // latched: once canceled, always canceled
+	done   <-chan struct{}
+	guard  *guard.Guard
+	budget int
+	err    error // latched: once failed, every check reports this error
 }
 
 // NewControl returns a Control watching done; done may be nil. The first
@@ -30,49 +59,113 @@ type Control struct {
 // started stops on the very first check); later polls are amortized over
 // checkInterval calls.
 func NewControl(done <-chan struct{}) *Control {
-	return &Control{done: done, budget: 1}
+	return Guarded(done, nil)
+}
+
+// Guarded returns a Control watching done and enforcing g's budget
+// (deadline and latched resource trips) on the same amortized schedule.
+// Both done and g may be nil.
+func Guarded(done <-chan struct{}, g *guard.Guard) *Control {
+	return &Control{done: done, guard: g, budget: 1}
 }
 
 // Tick must be called periodically from mining inner loops. It returns
-// ErrCanceled once done is closed (possibly up to checkInterval calls
-// late). Cancellation latches: after the first ErrCanceled every
-// subsequent call reports it immediately, so callers that keep polling
-// cannot resume mining past a cancellation.
+// ErrCanceled once done is closed, or the guard's typed error
+// (guard.ErrDeadline, guard.ErrBudget) once the budget trips — possibly
+// up to checkInterval calls late. Failure latches: after the first error
+// every subsequent call reports it immediately, so callers that keep
+// polling cannot resume mining past a cancellation.
 func (c *Control) Tick() error {
-	if c == nil || c.done == nil {
+	if c == nil || (c.done == nil && c.guard == nil && TickHook == nil) {
 		return nil
 	}
-	if c.canceled {
-		return ErrCanceled
+	if c.err != nil {
+		return c.err
 	}
 	c.budget--
 	if c.budget > 0 {
 		return nil
 	}
 	c.budget = checkInterval
-	select {
-	case <-c.done:
-		c.canceled = true
-		return ErrCanceled
-	default:
-		return nil
-	}
+	return c.check()
 }
 
-// Canceled reports whether done is already closed, checking immediately.
-// Like Tick, the result latches.
+// check is the slow path of Tick: fault-injection hook, guard deadline,
+// done channel, in that order (so a simultaneous deadline and
+// cancellation deterministically reports the deadline).
+func (c *Control) check() error {
+	if h := TickHook; h != nil {
+		if err := h(); err != nil {
+			c.err = err
+			return err
+		}
+	}
+	if err := c.guard.Check(); err != nil {
+		c.err = err
+		return err
+	}
+	if c.done != nil {
+		select {
+		case <-c.done:
+			c.err = ErrCanceled
+			return c.err
+		default:
+		}
+	}
+	return nil
+}
+
+// Canceled reports whether the run must stop, checking immediately: the
+// done channel, the guard's deadline, and any latched error. Like Tick,
+// the result latches. It is the probe miners install into long tree
+// passes (core.Tree.SetCancel).
 func (c *Control) Canceled() bool {
-	if c == nil || c.done == nil {
+	if c == nil {
 		return false
 	}
-	if c.canceled {
+	if c.err != nil {
 		return true
 	}
-	select {
-	case <-c.done:
-		c.canceled = true
+	if err := c.guard.Check(); err != nil {
+		c.err = err
 		return true
-	default:
-		return false
 	}
+	if c.done != nil {
+		select {
+		case <-c.done:
+			c.err = ErrCanceled
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// PollNodes checks a repository size against the guard's node budget and
+// latches (and returns) the budget error when it is exceeded. With no
+// guard it always returns nil.
+func (c *Control) PollNodes(n int) error {
+	if c == nil || c.guard == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.guard.PollNodes(n); err != nil {
+		c.err = err
+		return err
+	}
+	return nil
+}
+
+// Cause returns the latched error of a failed Control — the reason a
+// probe (Canceled) fired. Callers that observe an abort through a
+// boolean channel (e.g. core.Tree.Aborted) use it to surface the typed
+// error instead of a generic cancellation. It returns ErrCanceled if the
+// control never latched (a conservative default for abandoned runs).
+func (c *Control) Cause() error {
+	if c == nil || c.err == nil {
+		return ErrCanceled
+	}
+	return c.err
 }

@@ -11,6 +11,7 @@ package naive
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -22,6 +23,9 @@ type FlatOptions struct {
 	MinSupport int
 	// Done optionally cancels the run.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline and pattern budget). May
+	// be nil.
+	Guard *guard.Guard
 }
 
 // FlatCumulative mines closed frequent item sets with the flat cumulative
@@ -42,7 +46,7 @@ func FlatCumulative(db *dataset.Database, opts FlatOptions, rep result.Reporter)
 	if minsup < 1 {
 		minsup = 1
 	}
-	ctl := mining.NewControl(opts.Done)
+	ctl := mining.Guarded(opts.Done, opts.Guard)
 
 	repo := make(map[string]*flatEntry)
 	for _, t := range db.Trans {
@@ -77,6 +81,10 @@ func FlatCumulative(db *dataset.Database, opts FlatOptions, rep result.Reporter)
 				best = e.supp
 			}
 			e.supp = best + 1
+		}
+		// The flat repository is the structure the node budget bounds.
+		if err := ctl.PollNodes(len(repo)); err != nil {
+			return err
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/carpenter"
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -37,10 +38,11 @@ func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter)
 			ItemOrder:  opts.ItemOrder,
 			TransOrder: opts.TransOrder,
 			Done:       opts.Done,
+			Guard:      opts.Guard,
 		}, rep)
 	}
 
-	ctl := mining.NewControl(opts.Done)
+	ctl := mining.Guarded(opts.Done, opts.Guard)
 	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
 	if prep.DB.Items == 0 || len(prep.DB.Trans) < minsup {
 		return nil
@@ -63,9 +65,14 @@ func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Contain panics (Explore recovers its own, but the merger and
+			// loop around it run here too): the pool drains through the
+			// WaitGroup — workers share no channels — and the panic
+			// surfaces as a *guard.PanicError from firstError.
+			defer guard.Recover(&errs[w])
 			m := result.NewMaxMerger()
 			merged[w] = m
-			worker := brancher.NewWorker(opts.Done, result.ReporterFunc(
+			worker := brancher.NewWorker(opts.Done, opts.Guard, result.ReporterFunc(
 				func(items itemset.Set, supp int) { m.Add(items, supp) }))
 			for b := w; b < len(branches); b += workers {
 				if err := worker.Explore(branches[b]); err != nil {
@@ -76,10 +83,8 @@ func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter)
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := firstError(errs); err != nil {
+		return err
 	}
 
 	// Fold the per-worker merges into one and emit canonically.

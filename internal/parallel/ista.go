@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -31,10 +32,11 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 			ItemOrder:  opts.ItemOrder,
 			TransOrder: opts.TransOrder,
 			Done:       opts.Done,
+			Guard:      opts.Guard,
 		}, rep)
 	}
 
-	ctl := mining.NewControl(opts.Done)
+	ctl := mining.Guarded(opts.Done, opts.Guard)
 	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
 	pdb := prep.DB
 	if pdb.Items == 0 {
@@ -63,18 +65,21 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Contain panics: a crashing worker must not take down the
+			// process. The pool drains through the WaitGroup — workers
+			// share no channels, so no goroutine can block forever — and
+			// the panic surfaces as a *guard.PanicError from firstError.
+			defer guard.Recover(&errs[w])
 			floor := minsup - (n - len(shards[w]))
 			if floor < 1 {
 				floor = 1
 			}
-			patterns[w], errs[w] = mineShard(pdb.Items, shards[w], floor, opts.Done)
+			patterns[w], errs[w] = mineShard(pdb.Items, shards[w], floor, opts.Done, opts.Guard)
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := firstError(errs); err != nil {
+		return err
 	}
 
 	// Phase 2: build the merge tree. Every closed set of the full
@@ -136,7 +141,9 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 		}
 	}
 	mtree := core.NewTree(pdb.Items)
-	mtree.SetCancel(ctl.Canceled)
+	mtree.SetCancel(func() bool {
+		return ctl.PollNodes(mtree.NodeCount()) != nil || ctl.Canceled()
+	})
 	lastPruneNodes := 0
 	for _, p := range replay {
 		if err := ctl.Tick(); err != nil {
@@ -144,7 +151,10 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 		}
 		mtree.AddWeighted(p.items, p.weight)
 		if mtree.Aborted() {
-			return mining.ErrCanceled
+			return ctl.Cause()
+		}
+		if err := ctl.PollNodes(mtree.NodeCount()); err != nil {
+			return err
 		}
 		for _, it := range p.items {
 			remain[it] -= p.weight
@@ -160,7 +170,7 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 		cands = append(cands, s)
 	})
 	if mtree.Aborted() {
-		return mining.ErrCanceled
+		return ctl.Cause()
 	}
 
 	// Phase 3: recompute every candidate's support exactly against the
@@ -171,17 +181,17 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 	// outcome.
 	vert := pdb.ToVertical()
 	supp := make([]int, len(cands))
-	var countErr error
-	var errOnce sync.Once
+	countErrs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wctl := mining.NewControl(opts.Done)
+			defer guard.Recover(&countErrs[w])
+			wctl := mining.Guarded(opts.Done, opts.Guard)
 			var bufs [2][]int32
 			for i := w; i < len(cands); i += workers {
 				if err := wctl.Tick(); err != nil {
-					errOnce.Do(func() { countErr = err })
+					countErrs[w] = err
 					return
 				}
 				supp[i] = countSupport(vert, cands[i], minsup, &bufs)
@@ -189,8 +199,8 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 		}(w)
 	}
 	wg.Wait()
-	if countErr != nil {
-		return countErr
+	if err := firstError(countErrs); err != nil {
+		return err
 	}
 
 	// Phase 4: drop infrequent candidates and filter out the non-closed
@@ -217,11 +227,14 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 // returns its closed sets with shard support at least minsup (the sound
 // shard-local floor computed by the caller) in prepared item codes. When
 // the floor exceeds 1 the standard item-elimination pruning applies
-// shard-locally.
-func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{}) ([]result.Pattern, error) {
-	ctl := mining.NewControl(done)
+// shard-locally. The guard's node budget bounds this shard's private
+// tree.
+func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{}, g *guard.Guard) ([]result.Pattern, error) {
+	ctl := mining.Guarded(done, g)
 	tree := core.NewTree(items)
-	tree.SetCancel(ctl.Canceled)
+	tree.SetCancel(func() bool {
+		return ctl.PollNodes(tree.NodeCount()) != nil || ctl.Canceled()
+	})
 	var remain []int
 	if minsup > 1 {
 		remain = make([]int, items)
@@ -238,7 +251,10 @@ func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{})
 		}
 		tree.AddTransaction(t)
 		if tree.Aborted() {
-			return nil, mining.ErrCanceled
+			return nil, ctl.Cause()
+		}
+		if err := ctl.PollNodes(tree.NodeCount()); err != nil {
+			return nil, err
 		}
 		if remain == nil {
 			continue
@@ -257,7 +273,7 @@ func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{})
 		out = append(out, result.Pattern{Items: s, Support: supp})
 	})
 	if tree.Aborted() {
-		return nil, mining.ErrCanceled
+		return nil, ctl.Cause()
 	}
 	return out, nil
 }

@@ -26,6 +26,7 @@ import (
 	"runtime"
 
 	"repro/internal/dataset"
+	"repro/internal/guard"
 )
 
 // Options configures the parallel miners.
@@ -43,6 +44,30 @@ type Options struct {
 	// Done optionally cancels the run across all workers; the miner then
 	// returns mining.ErrCanceled.
 	Done <-chan struct{}
+	// Guard optionally bounds the run: the deadline and pattern budget
+	// apply to the run as a whole, the node budget to each worker's
+	// private tree/repository. May be nil.
+	Guard *guard.Guard
+}
+
+// firstError folds a per-worker error slice into the error the engine
+// returns: a contained worker panic (*guard.PanicError) takes precedence
+// over cooperative stops (cancellation, budget), then first worker order
+// breaks ties deterministically.
+func firstError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if _, ok := err.(*guard.PanicError); ok {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // workers resolves the worker count.

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
@@ -40,6 +41,9 @@ type Options struct {
 	Target Target
 	// Done optionally cancels the run.
 	Done <-chan struct{}
+	// Guard optionally bounds the run (deadline and pattern budget). May
+	// be nil.
+	Guard *guard.Guard
 }
 
 // wtrans is one weighted transaction suffix. The items slice is shared
@@ -81,7 +85,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	m := &samMiner{
 		minsup: minsup,
 		prep:   prep,
-		ctl:    mining.NewControl(opts.Done),
+		ctl:    mining.Guarded(opts.Done, opts.Guard),
 	}
 	switch opts.Target {
 	case All:
