@@ -13,10 +13,10 @@ import (
 
 	"repro/internal/carpenter"
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/gendata"
 	"repro/internal/itemset"
 	"repro/internal/naive"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -108,13 +108,13 @@ func BenchmarkOrderAblation(b *testing.B) {
 	workloads()
 	cases := []struct {
 		name string
-		io   dataset.ItemOrder
-		to   dataset.TransOrder
+		io   prep.ItemOrder
+		to   prep.TransOrder
 	}{
-		{"asc-freq/size-asc", dataset.OrderAscFreq, dataset.OrderSizeAsc},
-		{"asc-freq/size-desc", dataset.OrderAscFreq, dataset.OrderSizeDesc},
-		{"desc-freq/size-asc", dataset.OrderDescFreq, dataset.OrderSizeAsc},
-		{"keep/original", dataset.OrderKeep, dataset.OrderOriginal},
+		{"asc-freq/size-asc", prep.OrderAscFreq, prep.OrderSizeAsc},
+		{"asc-freq/size-desc", prep.OrderAscFreq, prep.OrderSizeDesc},
+		{"desc-freq/size-asc", prep.OrderDescFreq, prep.OrderSizeAsc},
+		{"keep/original", prep.OrderKeep, prep.OrderOriginal},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
@@ -197,10 +197,10 @@ func BenchmarkRepoAblation(b *testing.B) {
 // representation (the table-based Carpenter's preprocessing step).
 func BenchmarkTable1Matrix(b *testing.B) {
 	workloads()
-	prep := dataset.Prepare(thrombinDB, 30, dataset.OrderAscFreq, dataset.OrderSizeAsc)
+	pre := prep.Prepare(thrombinDB, 30, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderSizeAsc})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := prep.DB.ToMatrix()
+		m := pre.DB.ToMatrix()
 		if m.N == 0 {
 			b.Fatal("empty matrix")
 		}
@@ -211,11 +211,11 @@ func BenchmarkTable1Matrix(b *testing.B) {
 // transaction cost (insertion + intersection pass, Fig. 2).
 func BenchmarkTreeAddTransaction(b *testing.B) {
 	workloads()
-	prep := dataset.Prepare(yeastDB, 14, dataset.OrderAscFreq, dataset.OrderSizeAsc)
+	pre := prep.Prepare(yeastDB, 14, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderSizeAsc})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tree := core.NewTree(prep.DB.Items)
-		for _, t := range prep.DB.Trans[:40] {
+		tree := core.NewTree(pre.DB.Items)
+		for _, t := range pre.DB.Trans[:40] {
 			tree.AddTransaction(t)
 		}
 	}

@@ -26,22 +26,51 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	fim "repro"
 )
 
+// algoHelp derives the -algo usage text from the engine registry, so a
+// newly registered miner shows up without touching this file.
+func algoHelp() string {
+	return "algorithm: " + strings.Join(algoNames(), " | ") + " (default depends on -target)"
+}
+
+func algoNames() []string {
+	infos := fim.AlgorithmInfos()
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = string(info.Name)
+	}
+	return names
+}
+
+// defaultAlgorithm picks the miner used when -algo is not given: the
+// paper's IsTa for closed sets, and the conventional choices for the
+// other targets.
+func defaultAlgorithm(target fim.Target) fim.Algorithm {
+	switch target {
+	case fim.TargetAll:
+		return fim.FPClose
+	case fim.TargetMaximal:
+		return fim.EclatClosed
+	}
+	return fim.IsTa
+}
+
 func main() {
 	var (
-		algo    = flag.String("algo", "ista", "algorithm: ista | carpenter-table | carpenter-lists | cobbler | fpclose | lcm | eclat | sam | flat")
+		algo    = flag.String("algo", "", algoHelp())
 		target  = flag.String("target", "closed", "target: closed | all | maximal")
 		support = flag.Float64("support", 2, "minimum support: absolute if >= 1, else a fraction of the transactions")
 		out     = flag.String("out", "", "output file (default stdout)")
-		stats   = flag.Bool("stats", false, "print workload statistics and timing to stderr")
+		stats   = flag.Bool("stats", false, "print workload statistics, per-run counters and timing to stderr")
 		timeout = flag.Duration("timeout", 0, "optional wall-clock limit; on expiry the patterns found so far are written and fim exits 3")
 		maxPat  = flag.Int("max-patterns", 0, "stop after this many patterns (0 = unlimited); the truncated output is written and fim exits 3")
 		maxNode = flag.Int("max-nodes", 0, "cap the miner's repository (prefix-tree nodes / stored sets, 0 = unlimited); on excess fim writes the prefix found so far and exits 3")
-		par     = flag.Int("p", 0, "parallel workers for ista and carpenter-table (0 or 1 = sequential, -1 = all cores); the pattern set is identical to the sequential run")
+		par     = flag.Int("p", 0, "parallel workers for the algorithms with a parallel engine (0 or 1 = sequential, -1 = all cores); the pattern set is identical to the sequential run")
 
 		expr      = flag.Bool("expr", false, "input is a gene expression matrix (CSV/TSV of log ratios), discretized per the paper's §4")
 		threshold = flag.Float64("threshold", 0.2, "with -expr: |log ratio| above this is over-/under-expressed")
@@ -53,11 +82,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *target != "closed" && *target != "all" && *target != "maximal" {
+	var tgt fim.Target
+	switch *target {
+	case "closed":
+		tgt = fim.TargetClosed
+	case "all":
+		tgt = fim.TargetAll
+	case "maximal":
+		tgt = fim.TargetMaximal
+	default:
 		failUsage(fmt.Errorf("unknown target %q (want closed, all or maximal)", *target))
 	}
-	if *target == "closed" && !knownAlgorithm(*algo) {
-		failUsage(fmt.Errorf("unknown algorithm %q (see -algo)", *algo))
+	name := fim.Algorithm(*algo)
+	if name == "" {
+		name = defaultAlgorithm(tgt)
+	}
+	info, known := algorithmInfo(name)
+	if !known {
+		failUsage(fmt.Errorf("unknown algorithm %q (available: %s)", name, strings.Join(algoNames(), ", ")))
+	}
+	if !supportsTarget(info, tgt) {
+		failUsage(fmt.Errorf("algorithm %q does not mine %s sets", name, *target))
 	}
 	if *timeout < 0 || *maxPat < 0 || *maxNode < 0 {
 		failUsage(errors.New("-timeout, -max-patterns and -max-nodes must not be negative"))
@@ -83,7 +128,8 @@ func main() {
 
 	opts := fim.Options{
 		MinSupport:   minsup,
-		Algorithm:    fim.Algorithm(*algo),
+		Algorithm:    name,
+		Target:       tgt,
 		Parallelism:  *par,
 		MaxPatterns:  *maxPat,
 		MaxTreeNodes: *maxNode,
@@ -91,19 +137,16 @@ func main() {
 	if *timeout > 0 {
 		opts.Deadline = time.Now().Add(*timeout)
 	}
+	var runStats fim.MiningStats
+	if *stats {
+		opts.Stats = &runStats
+	}
 
 	start := time.Now()
-	var patterns *fim.ResultSet
-	switch *target {
-	case "closed":
-		var set fim.ResultSet
-		err = fim.Mine(db, opts, set.Collect())
-		patterns = &set
-	case "all":
-		patterns, err = fim.MineAll(db, minsup)
-	case "maximal":
-		patterns, err = fim.MineMaximal(db, minsup)
-	}
+	var set fim.ResultSet
+	err = fim.Mine(db, opts, set.Collect())
+	set.Sort()
+	patterns := &set
 	// A tripped deadline, budget, or cancellation still produced a valid
 	// prefix of the result; write it before exiting so callers can use
 	// what was found.
@@ -127,6 +170,7 @@ func main() {
 		fail(werr)
 	}
 	if *stats {
+		fmt.Fprintf(os.Stderr, "fim: %s\n", runStats.String())
 		fmt.Fprintf(os.Stderr, "fim: %d %s sets in %s\n", patterns.Len(), *target, elapsed.Round(time.Millisecond))
 	}
 	if truncated {
@@ -138,11 +182,21 @@ func main() {
 	}
 }
 
-// knownAlgorithm reports whether name is one of the registered miners, so
-// a typo fails fast with exit 2 instead of after the database is loaded.
-func knownAlgorithm(name string) bool {
-	for _, a := range fim.Algorithms() {
-		if string(a) == name {
+// algorithmInfo finds the registry entry for name, so a typo fails fast
+// with exit 2 instead of after the database is loaded.
+func algorithmInfo(name fim.Algorithm) (fim.AlgorithmInfo, bool) {
+	for _, info := range fim.AlgorithmInfos() {
+		if info.Name == name {
+			return info, true
+		}
+	}
+	return fim.AlgorithmInfo{}, false
+}
+
+// supportsTarget reports whether the algorithm declared the target.
+func supportsTarget(info fim.AlgorithmInfo, tgt fim.Target) bool {
+	for _, t := range info.Targets {
+		if t == tgt {
 			return true
 		}
 	}

@@ -26,26 +26,16 @@ package fim
 import (
 	"context"
 	"errors"
-	"fmt"
 	"io"
 	"time"
 
-	"repro/internal/apriori"
-	"repro/internal/carpenter"
-	"repro/internal/cobbler"
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/eclat"
-	"repro/internal/fpgrowth"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
-	"repro/internal/lcm"
 	"repro/internal/mining"
-	"repro/internal/naive"
-	"repro/internal/parallel"
 	"repro/internal/result"
 	"repro/internal/rules"
-	"repro/internal/sam"
 )
 
 // Re-exported core types. The aliases make the internal packages' types
@@ -73,7 +63,9 @@ type (
 type Algorithm string
 
 // The available algorithms. IsTa is the paper's primary contribution and
-// the default.
+// the default. The set of valid names is defined by the engine registry
+// (each algorithm package registers itself); these constants cover the
+// built-in miners.
 const (
 	IsTa           Algorithm = "ista"            // §3.2-3.4: cumulative intersection, prefix tree
 	CarpenterTable Algorithm = "carpenter-table" // §3.1.2: transaction set enumeration, matrix
@@ -84,11 +76,65 @@ const (
 	Cobbler        Algorithm = "cobbler"         // combined column/row enumeration (Pan et al.)
 	SaM            Algorithm = "sam"             // split-and-merge (Borgelt & Wang), closed via filter
 	FlatCumulative Algorithm = "flat"            // Mielikäinen's flat cumulative scheme
+	Apriori        Algorithm = "apriori"         // level-wise candidate generation (Agrawal & Srikant)
 )
 
-// Algorithms lists the closed-set mining algorithms in presentation order.
+// Algorithms lists the registered mining algorithms in presentation
+// order (the paper's contributions first).
 func Algorithms() []Algorithm {
-	return []Algorithm{IsTa, CarpenterTable, CarpenterLists, Cobbler, FPClose, LCM, EclatClosed, SaM, FlatCumulative}
+	names := engine.Names()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
+	}
+	return out
+}
+
+// Target selects which family of frequent item sets Mine reports. The
+// zero value is TargetClosed.
+type Target = engine.Target
+
+// The available targets. Not every algorithm supports every target; see
+// AlgorithmInfo.Targets.
+const (
+	// TargetClosed mines the closed frequent item sets (the default).
+	TargetClosed = engine.Closed
+	// TargetAll mines every frequent item set.
+	TargetAll = engine.All
+	// TargetMaximal mines the maximal frequent item sets.
+	TargetMaximal = engine.Maximal
+)
+
+// MiningStats carries per-run observability: pattern counts, operation
+// and budget-check counters, repository peak size, and prep/mine timings.
+type MiningStats = engine.Stats
+
+// AlgorithmInfo describes one registered algorithm.
+type AlgorithmInfo struct {
+	// Name is the Algorithm value to pass in Options.
+	Name Algorithm
+	// Doc is a one-line description.
+	Doc string
+	// Targets lists the supported targets.
+	Targets []Target
+	// Parallel reports whether a parallel engine is registered.
+	Parallel bool
+}
+
+// AlgorithmInfos describes the registered algorithms in presentation
+// order, for generated help texts and tables.
+func AlgorithmInfos() []AlgorithmInfo {
+	regs := engine.Registrations()
+	out := make([]AlgorithmInfo, len(regs))
+	for i, r := range regs {
+		out[i] = AlgorithmInfo{
+			Name:     Algorithm(r.Name),
+			Doc:      r.Doc,
+			Targets:  append([]Target(nil), r.Targets...),
+			Parallel: r.Parallelizable(),
+		}
+	}
+	return out
 }
 
 // Partial-result errors. A mining run that stops early — canceled,
@@ -123,6 +169,16 @@ type Options struct {
 	MinSupport int
 	// Algorithm selects the miner; empty selects IsTa.
 	Algorithm Algorithm
+	// Target selects what is mined: closed sets (default), all frequent
+	// sets, or maximal sets. Mine fails with an error wrapping
+	// ErrUnsupportedTarget if the selected algorithm did not declare the
+	// target.
+	Target Target
+	// Stats, when non-nil, is overwritten with per-run statistics
+	// (pattern count, operation counters, repository peak, prep and mine
+	// timings). Collecting them costs a few atomic updates per budget
+	// check, nothing per pattern-search step.
+	Stats *MiningStats
 	// Done, when closed, cancels the run; Mine returns an error and the
 	// already reported patterns form an incomplete prefix of the result.
 	Done <-chan struct{}
@@ -241,55 +297,29 @@ func Mine(db *Database, opts Options, rep Reporter) (err error) {
 	return err
 }
 
-// mine dispatches to the selected algorithm with the resolved done
-// channel and guard.
+// ErrUnknownAlgorithm is wrapped by Mine's error when Options.Algorithm
+// is not a registered name; the error text lists the available names.
+var ErrUnknownAlgorithm = engine.ErrUnknownAlgorithm
+
+// ErrUnsupportedTarget is wrapped by Mine's error when the selected
+// algorithm did not declare Options.Target.
+var ErrUnsupportedTarget = engine.ErrUnsupportedTarget
+
+// mine dispatches to the selected algorithm through the engine registry
+// with the resolved done channel and guard.
 func mine(db *Database, opts Options, g *guard.Guard, done <-chan struct{}, rep Reporter) error {
-	par := opts.Parallelism < 0 || opts.Parallelism >= 2
-	switch opts.Algorithm {
-	case IsTa, "":
-		if par {
-			return parallel.MineIsTa(db, parallel.Options{
-				MinSupport: opts.MinSupport, Workers: opts.Parallelism, Done: done, Guard: g,
-			}, rep)
-		}
-		return core.Mine(db, core.Options{MinSupport: opts.MinSupport, Done: done, Guard: g}, rep)
-	case CarpenterTable:
-		if par {
-			return parallel.MineCarpenterTable(db, parallel.Options{
-				MinSupport: opts.MinSupport, Workers: opts.Parallelism, Done: done, Guard: g,
-			}, rep)
-		}
-		return carpenter.Mine(db, carpenter.Options{
-			MinSupport: opts.MinSupport, Variant: carpenter.Table, Done: done, Guard: g,
-		}, rep)
-	case CarpenterLists:
-		return carpenter.Mine(db, carpenter.Options{
-			MinSupport: opts.MinSupport, Variant: carpenter.Lists, Done: done, Guard: g,
-		}, rep)
-	case FPClose:
-		return fpgrowth.Mine(db, fpgrowth.Options{
-			MinSupport: opts.MinSupport, Target: fpgrowth.Closed, Done: done, Guard: g,
-		}, rep)
-	case LCM:
-		return lcm.Mine(db, lcm.Options{MinSupport: opts.MinSupport, Done: done, Guard: g}, rep)
-	case EclatClosed:
-		return eclat.Mine(db, eclat.Options{
-			MinSupport: opts.MinSupport, Target: eclat.Closed, Done: done, Guard: g,
-		}, rep)
-	case Cobbler:
-		return cobbler.Mine(db, cobbler.Options{
-			MinSupport: opts.MinSupport, Done: done, Guard: g,
-		}, rep)
-	case SaM:
-		return sam.Mine(db, sam.Options{
-			MinSupport: opts.MinSupport, Target: sam.Closed, Done: done, Guard: g,
-		}, rep)
-	case FlatCumulative:
-		return naive.FlatCumulative(db, naive.FlatOptions{
-			MinSupport: opts.MinSupport, Done: done, Guard: g,
-		}, rep)
+	name := string(opts.Algorithm)
+	if name == "" {
+		name = string(IsTa)
 	}
-	return fmt.Errorf("fim: unknown algorithm %q", opts.Algorithm)
+	return engine.Run(db, name, engine.Spec{
+		MinSupport: opts.MinSupport,
+		Target:     opts.Target,
+		Workers:    opts.Parallelism,
+		Done:       done,
+		Guard:      g,
+		Stats:      opts.Stats,
+	}, rep)
 }
 
 // MineClosed mines the closed frequent item sets of db with IsTa and
@@ -324,7 +354,7 @@ func MineParallel(db *Database, minSupport, workers int) (*ResultSet, error) {
 // exponentially larger than MineClosed's (§2.3 of the paper).
 func MineAll(db *Database, minSupport int) (*ResultSet, error) {
 	var out ResultSet
-	err := fpgrowth.Mine(db, fpgrowth.Options{MinSupport: minSupport, Target: fpgrowth.All}, out.Collect())
+	err := Mine(db, Options{MinSupport: minSupport, Algorithm: FPClose, Target: TargetAll}, out.Collect())
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +366,7 @@ func MineAll(db *Database, minSupport int) (*ResultSet, error) {
 // frequent proper superset) and returns them in canonical order.
 func MineMaximal(db *Database, minSupport int) (*ResultSet, error) {
 	var out ResultSet
-	err := eclat.Mine(db, eclat.Options{MinSupport: minSupport, Target: eclat.Maximal}, out.Collect())
+	err := Mine(db, Options{MinSupport: minSupport, Algorithm: EclatClosed, Target: TargetMaximal}, out.Collect())
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +379,7 @@ func MineMaximal(db *Database, minSupport int) (*ResultSet, error) {
 // MineAll for real use.
 func MineApriori(db *Database, minSupport int) (*ResultSet, error) {
 	var out ResultSet
-	err := apriori.Mine(db, apriori.Options{MinSupport: minSupport, Target: apriori.All}, out.Collect())
+	err := Mine(db, Options{MinSupport: minSupport, Algorithm: Apriori, Target: TargetAll}, out.Collect())
 	if err != nil {
 		return nil, err
 	}
@@ -394,20 +424,6 @@ func Support(db *Database, items ItemSet) int { return result.Support(db, items)
 // IsClosed reports whether items equals the intersection of all
 // transactions of db containing it (§2.4).
 func IsClosed(db *Database, items ItemSet) bool { return result.IsClosed(db, items) }
-
-// IncrementalMiner is an online closed item set miner: transactions are
-// added one at a time (e.g. as they arrive on a stream) and the closed
-// frequent item sets of everything seen so far can be queried at any
-// moment, at any support threshold. It is a direct consequence of the
-// paper's cumulative intersection scheme (§3.2); see
-// internal/core.Incremental for the trade-offs against batch mining.
-type IncrementalMiner = core.Incremental
-
-// NewIncrementalMiner returns an online miner over item codes
-// 0..items-1.
-func NewIncrementalMiner(items int) *IncrementalMiner {
-	return core.NewIncremental(items)
-}
 
 // RuleOptions configures association rule induction.
 type RuleOptions = rules.Options

@@ -33,8 +33,10 @@ func guardDB() *Database {
 	return NewDatabase(rows)
 }
 
-// guardCases enumerates every algorithm, plus the parallel engines at
-// four workers (their sequential fallback is covered by the plain runs).
+// guardCases enumerates every registered algorithm (via the engine
+// registry, so newly registered miners are covered automatically), plus
+// the parallel engines at four workers (their sequential fallback is
+// covered by the plain runs).
 type guardCase struct {
 	name string
 	algo Algorithm

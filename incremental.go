@@ -1,0 +1,17 @@
+package fim
+
+import "repro/internal/core"
+
+// IncrementalMiner is an online closed item set miner: transactions are
+// added one at a time (e.g. as they arrive on a stream) and the closed
+// frequent item sets of everything seen so far can be queried at any
+// moment, at any support threshold. It is a direct consequence of the
+// paper's cumulative intersection scheme (§3.2); see
+// internal/core.Incremental for the trade-offs against batch mining.
+type IncrementalMiner = core.Incremental
+
+// NewIncrementalMiner returns an online miner over item codes
+// 0..items-1.
+func NewIncrementalMiner(items int) *IncrementalMiner {
+	return core.NewIncremental(items)
+}

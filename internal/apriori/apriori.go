@@ -12,29 +12,34 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
 // Target selects what Mine reports.
-type Target int
+//
+// Deprecated: Target and its constants are aliases for the shared
+// engine.Target; the zero value is Closed (it used to be All).
+type Target = engine.Target
 
 const (
 	// All reports every frequent item set.
-	All Target = iota
+	All = engine.All
 	// Closed reports the closed frequent item sets.
-	Closed
+	Closed = engine.Closed
 	// Maximal reports the maximal frequent item sets.
-	Maximal
+	Maximal = engine.Maximal
 )
 
 // Options configures the miner.
 type Options struct {
 	// MinSupport is the absolute minimum support; values < 1 act as 1.
 	MinSupport int
-	// Target selects all (default), closed, or maximal sets.
+	// Target selects closed (default), all, or maximal sets.
 	Target Target
 	// Done optionally cancels the run.
 	Done <-chan struct{}
@@ -53,8 +58,14 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		minsup = 1
 	}
 	ctl := mining.Guarded(opts.Done, opts.Guard)
-	prep := dataset.Prepare(db, minsup, dataset.OrderKeep, dataset.OrderOriginal)
-	pdb := prep.DB
+	pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderKeep, Trans: prep.OrderOriginal})
+	return minePrepared(pre, minsup, opts.Target, ctl, rep)
+}
+
+// minePrepared is the level-wise search on an already preprocessed
+// database.
+func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Control, rep result.Reporter) error {
+	pdb := pre.DB
 	if pdb.Items == 0 {
 		return nil
 	}
@@ -69,10 +80,10 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 
 	var out func(items itemset.Set, supp int)
 	var filter *result.SubsumeFilter
-	switch opts.Target {
+	switch target {
 	case All:
 		out = func(items itemset.Set, supp int) {
-			rep.Report(prep.DecodeSet(items), supp)
+			rep.Report(pre.DecodeSet(items), supp)
 		}
 	case Closed, Maximal:
 		// Collect closure candidates; every closed set is frequent and
@@ -90,10 +101,10 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	}
 	var level []entry
 	for i := 0; i < pdb.Items; i++ {
-		// Prepare removed infrequent items, so every remaining item is
-		// frequent by construction.
-		level = append(level, entry{items: itemset.Set{itemset.Item(i)}, supp: prep.Freq[i]})
-		out(itemset.Set{itemset.Item(i)}, prep.Freq[i])
+		// Preprocessing removed infrequent items, so every remaining item
+		// is frequent by construction.
+		level = append(level, entry{items: itemset.Set{itemset.Item(i)}, supp: pre.Freq[i]})
+		out(itemset.Set{itemset.Item(i)}, pre.Freq[i])
 	}
 
 	for len(level) > 0 {
@@ -116,6 +127,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 				if err := ctl.Tick(); err != nil {
 					return err
 				}
+				ctl.CountOps(1) // one candidate join/count attempt
 				cand := base.WithItem(other[len(other)-1])
 				// Prune step: every k-subset must be frequent.
 				if !allSubsetsFrequent(cand, frequentKeys) {
@@ -136,20 +148,20 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		level = nextLevel
 	}
 
-	switch opts.Target {
+	switch target {
 	case Closed:
 		var closed result.Set
 		filter.Emit(closed.Collect())
 		closed.Sort()
 		for _, p := range closed.Patterns {
-			rep.Report(prep.DecodeSet(p.Items), p.Support)
+			rep.Report(pre.DecodeSet(p.Items), p.Support)
 		}
 	case Maximal:
 		var closed result.Set
 		filter.Emit(closed.Collect())
 		maximal := result.FilterMaximal(&closed)
 		for _, p := range maximal.Patterns {
-			rep.Report(prep.DecodeSet(p.Items), p.Support)
+			rep.Report(pre.DecodeSet(p.Items), p.Support)
 		}
 	}
 	return nil

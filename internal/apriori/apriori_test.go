@@ -61,28 +61,6 @@ func TestAllMatchesBruteForce(t *testing.T) {
 	}
 }
 
-func TestClosedMatchesOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(602))
-	for trial := 0; trial < 80; trial++ {
-		items := 2 + rng.Intn(8)
-		n := 1 + rng.Intn(12)
-		db := randDB(rng, items, n, 0.15+rng.Float64()*0.5)
-		for _, minsup := range []int{1, 2, 3} {
-			want, err := naive.ClosedByTransactionSubsets(db, minsup)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var got result.Set
-			if err := Mine(db, Options{MinSupport: minsup, Target: Closed}, got.Collect()); err != nil {
-				t.Fatal(err)
-			}
-			if !got.Equal(want) {
-				t.Fatalf("apriori(closed) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
-			}
-		}
-	}
-}
-
 func TestMaximal(t *testing.T) {
 	rng := rand.New(rand.NewSource(603))
 	for trial := 0; trial < 40; trial++ {

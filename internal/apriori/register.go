@@ -1,0 +1,20 @@
+package apriori
+
+import (
+	"repro/internal/engine"
+	"repro/internal/prep"
+	"repro/internal/result"
+)
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:    "apriori",
+		Doc:     "classic level-wise candidate generation; closed/maximal via post-filter (Agrawal & Srikant)",
+		Targets: []engine.Target{engine.Closed, engine.All, engine.Maximal},
+		Prep:    prep.Config{Items: prep.OrderKeep, Trans: prep.OrderOriginal},
+		Order:   100,
+		Mine: func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
+			return minePrepared(pre, spec.MinSupport, spec.Target, spec.Control(), rep)
+		},
+	})
+}

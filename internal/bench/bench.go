@@ -13,17 +13,22 @@ import (
 	"time"
 
 	"repro/internal/carpenter"
-	"repro/internal/cobbler"
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/eclat"
-	"repro/internal/fpgrowth"
-	"repro/internal/lcm"
+	"repro/internal/engine"
 	"repro/internal/mining"
-	"repro/internal/naive"
-	"repro/internal/parallel"
 	"repro/internal/result"
-	"repro/internal/sam"
+
+	// Link the remaining algorithm packages (core and carpenter are
+	// imported above for the ablations) and the parallel engines; each
+	// registers itself with the engine from init.
+	_ "repro/internal/cobbler"
+	_ "repro/internal/eclat"
+	_ "repro/internal/fpgrowth"
+	_ "repro/internal/lcm"
+	_ "repro/internal/naive"
+	_ "repro/internal/parallel"
+	_ "repro/internal/sam"
 )
 
 // Algo is one mining algorithm under test.
@@ -34,20 +39,33 @@ type Algo struct {
 	Run func(db *dataset.Database, minsup int, done <-chan struct{}, rep result.Reporter) error
 }
 
-// Algorithms returns the algorithm registry keyed by name.
+// engineAlgo adapts a registered miner to a bench Algo under the given
+// column label. workers selects the engine: 1 forces the sequential
+// miner, >= 2 the parallel engine where one is registered.
+func engineAlgo(label, regName string, workers int) Algo {
+	return Algo{label, func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+		return engine.Run(db, regName, engine.Spec{MinSupport: ms, Workers: workers, Done: done}, rep)
+	}}
+}
+
+// Algorithms returns the algorithm registry keyed by name. The base
+// algorithms run through the engine registry (the code path cmd/fim and
+// fim.Mine use); the ablation variants keep their direct package entry
+// points because they toggle knobs the engine deliberately does not
+// expose.
 func Algorithms() map[string]Algo {
 	algos := []Algo{
-		{"ista", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return core.Mine(db, core.Options{MinSupport: ms, Done: done}, rep)
-		}},
+		engineAlgo("ista", "ista", 1),
+		engineAlgo("carp-table", "carpenter-table", 1),
+		engineAlgo("carp-lists", "carpenter-lists", 1),
+		engineAlgo("fpclose", "fpclose", 1),
+		engineAlgo("lcm", "lcm", 1),
+		engineAlgo("eclat-closed", "eclat", 1),
+		engineAlgo("cobbler", "cobbler", 1),
+		engineAlgo("sam", "sam", 1),
+		engineAlgo("flat", "flat", 1),
 		{"ista-noprune", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
 			return core.Mine(db, core.Options{MinSupport: ms, Done: done, DisablePruning: true}, rep)
-		}},
-		{"carp-table", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, Done: done}, rep)
-		}},
-		{"carp-lists", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Lists, Done: done}, rep)
 		}},
 		{"carp-table-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
 			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, DisableElimination: true, Done: done}, rep)
@@ -58,35 +76,12 @@ func Algorithms() map[string]Algo {
 		{"carp-table-hash", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
 			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, HashRepository: true, Done: done}, rep)
 		}},
-		{"fpclose", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return fpgrowth.Mine(db, fpgrowth.Options{MinSupport: ms, Target: fpgrowth.Closed, Done: done}, rep)
-		}},
-		{"lcm", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return lcm.Mine(db, lcm.Options{MinSupport: ms, Done: done}, rep)
-		}},
-		{"eclat-closed", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return eclat.Mine(db, eclat.Options{MinSupport: ms, Target: eclat.Closed, Done: done}, rep)
-		}},
-		{"cobbler", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return cobbler.Mine(db, cobbler.Options{MinSupport: ms, Done: done}, rep)
-		}},
-		{"sam", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return sam.Mine(db, sam.Options{MinSupport: ms, Target: sam.Closed, Done: done}, rep)
-		}},
-		{"flat", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-			return naive.FlatCumulative(db, naive.FlatOptions{MinSupport: ms, Done: done}, rep)
-		}},
 	}
 	// Parallel engines at fixed worker counts, for the speedup experiment.
 	for _, p := range []int{2, 4, 8} {
-		p := p
 		algos = append(algos,
-			Algo{fmt.Sprintf("ista-p%d", p), func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-				return parallel.MineIsTa(db, parallel.Options{MinSupport: ms, Workers: p, Done: done}, rep)
-			}},
-			Algo{fmt.Sprintf("carp-table-p%d", p), func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-				return parallel.MineCarpenterTable(db, parallel.Options{MinSupport: ms, Workers: p, Done: done}, rep)
-			}},
+			engineAlgo(fmt.Sprintf("ista-p%d", p), "ista", p),
+			engineAlgo(fmt.Sprintf("carp-table-p%d", p), "carpenter-table", p),
 		)
 	}
 	m := make(map[string]Algo, len(algos))

@@ -9,7 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/gendata"
-	"repro/internal/parallel"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -226,16 +226,16 @@ func runOrders(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "workload: %s\n\n", db.Stats())
 	fmt.Fprintf(w, "%-16s  %-16s  %10s  %9s\n", "item order", "trans order", "time(s)", "#closed")
 	type combo struct {
-		io dataset.ItemOrder
-		to dataset.TransOrder
+		io prep.ItemOrder
+		to prep.TransOrder
 	}
 	for _, c := range []combo{
-		{dataset.OrderAscFreq, dataset.OrderSizeAsc},
-		{dataset.OrderAscFreq, dataset.OrderSizeDesc},
-		{dataset.OrderAscFreq, dataset.OrderOriginal},
-		{dataset.OrderDescFreq, dataset.OrderSizeAsc},
-		{dataset.OrderDescFreq, dataset.OrderSizeDesc},
-		{dataset.OrderKeep, dataset.OrderSizeAsc},
+		{prep.OrderAscFreq, prep.OrderSizeAsc},
+		{prep.OrderAscFreq, prep.OrderSizeDesc},
+		{prep.OrderAscFreq, prep.OrderOriginal},
+		{prep.OrderDescFreq, prep.OrderSizeAsc},
+		{prep.OrderDescFreq, prep.OrderSizeDesc},
+		{prep.OrderKeep, prep.OrderSizeAsc},
 	} {
 		var counter result.Counter
 		start := time.Now()
@@ -334,18 +334,14 @@ func runParallel(cfg Config, w io.Writer) error {
 	})
 	if err := section("sharded IsTa (many transactions)", quest, len(quest.Trans)/100,
 		"ista", func(p int) Algo {
-			return Algo{fmt.Sprintf("ista-p%d", p), func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-				return parallel.MineIsTa(db, parallel.Options{MinSupport: ms, Workers: p, Done: done}, rep)
-			}}
+			return engineAlgo(fmt.Sprintf("ista-p%d", p), "ista", p)
 		}); err != nil {
 		return err
 	}
 	ncbi := gendata.NCBI60(cfg.scale(1)*0.25, cfg.seed(5))
 	return section("branch-parallel Carpenter (few dense transactions)", ncbi, 50,
 		"carp-table", func(p int) Algo {
-			return Algo{fmt.Sprintf("carp-table-p%d", p), func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-				return parallel.MineCarpenterTable(db, parallel.Options{MinSupport: ms, Workers: p, Done: done}, rep)
-			}}
+			return engineAlgo(fmt.Sprintf("carp-table-p%d", p), "carpenter-table", p)
 		})
 }
 

@@ -11,10 +11,10 @@
 package carpenter
 
 import (
-	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -32,24 +32,24 @@ type TableBranch struct {
 // search over a prepared database and lets workers explore them
 // independently.
 type TableBrancher struct {
-	prep   *dataset.Prepared
+	pre    *prep.Prepared
 	matrix [][]int32
 	minsup int
 	n      int
 	elim   bool
 }
 
-// NewTableBrancher builds the brancher. prep must come from
-// dataset.Prepare with the minsup used here.
-func NewTableBrancher(prep *dataset.Prepared, minsup int, disableElimination bool) *TableBrancher {
+// NewTableBrancher builds the brancher. pre must come from prep.Prepare
+// with the minsup used here.
+func NewTableBrancher(pre *prep.Prepared, minsup int, disableElimination bool) *TableBrancher {
 	if minsup < 1 {
 		minsup = 1
 	}
 	return &TableBrancher{
-		prep:   prep,
-		matrix: prep.DB.ToMatrix().M,
+		pre:    pre,
+		matrix: pre.DB.ToMatrix().M,
 		minsup: minsup,
-		n:      len(prep.DB.Trans),
+		n:      len(pre.DB.Trans),
 		elim:   !disableElimination,
 	}
 }
@@ -61,7 +61,7 @@ func NewTableBrancher(prep *dataset.Prepared, minsup int, disableElimination boo
 // which the sequential loop breaks too). Branches with an empty root
 // intersection are skipped.
 func (b *TableBrancher) Branches() []TableBranch {
-	root := make([]itemset.Item, b.prep.DB.Items)
+	root := make([]itemset.Item, b.pre.DB.Items)
 	for i := range root {
 		root[i] = itemset.Item(i)
 	}
@@ -109,8 +109,8 @@ func (b *TableBrancher) NewWorker(done <-chan struct{}, g *guard.Guard, rep resu
 		minsup: b.minsup,
 		n:      b.n,
 		elim:   b.elim,
-		repo:   newRepoTree(b.prep.DB.Items),
-		prep:   b.prep,
+		repo:   newRepoTree(b.pre.DB.Items),
+		pre:    b.pre,
 		rep:    rep,
 		ctl:    mining.Guarded(done, g),
 		matrix: b.matrix,

@@ -5,6 +5,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -38,8 +39,8 @@ type Options struct {
 	// Variant selects lists or table representation.
 	Variant Variant
 	// ItemOrder / TransOrder select the preprocessing (§3.4).
-	ItemOrder  dataset.ItemOrder
-	TransOrder dataset.TransOrder
+	ItemOrder  prep.ItemOrder
+	TransOrder prep.TransOrder
 	// DisableElimination turns off the item elimination optimization
 	// ("this optimization leads to a considerable speed-up", §3.1.1). It
 	// never changes the result.
@@ -65,8 +66,15 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	if minsup < 1 {
 		minsup = 1
 	}
-	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
-	pdb := prep.DB
+	pre := prep.Prepare(db, minsup, prep.Config{Items: opts.ItemOrder, Trans: opts.TransOrder})
+	ctl := mining.Guarded(opts.Done, opts.Guard)
+	return minePrepared(pre, minsup, opts.Variant, opts.DisableElimination, opts.HashRepository, ctl, rep)
+}
+
+// minePrepared is the Carpenter search on an already preprocessed
+// database.
+func minePrepared(pre *prep.Prepared, minsup int, variant Variant, disableElimination, hashRepository bool, ctl *mining.Control, rep result.Reporter) error {
+	pdb := pre.DB
 	if pdb.Items == 0 || len(pdb.Trans) < minsup {
 		return nil
 	}
@@ -74,17 +82,17 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	m := &miner{
 		minsup: minsup,
 		n:      len(pdb.Trans),
-		elim:   !opts.DisableElimination,
-		prep:   prep,
+		elim:   !disableElimination,
+		pre:    pre,
 		rep:    rep,
-		ctl:    mining.Guarded(opts.Done, opts.Guard),
+		ctl:    ctl,
 	}
-	if opts.HashRepository {
+	if hashRepository {
 		m.repo = newHashRepo()
 	} else {
 		m.repo = newRepoTree(pdb.Items)
 	}
-	if opts.Variant == Table {
+	if variant == Table {
 		m.matrix = pdb.ToMatrix().M
 	} else {
 		m.tids = pdb.ToVertical().Tids
@@ -92,7 +100,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 
 	// The root subproblem is (B, ∅, 1): the full item base, nothing
 	// intersected yet.
-	if opts.Variant == Table {
+	if variant == Table {
 		root := make([]itemset.Item, pdb.Items)
 		for i := range root {
 			root[i] = itemset.Item(i)
@@ -111,7 +119,7 @@ type miner struct {
 	n      int
 	elim   bool
 	repo   repository
-	prep   *dataset.Prepared
+	pre    *prep.Prepared
 	rep    result.Reporter
 	ctl    *mining.Control
 
@@ -138,6 +146,7 @@ func (m *miner) exploreLists(items []ip, kSize, ell int) error {
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
+		m.ctl.CountOps(1) // one transaction intersection per scan step
 		// Neither this node nor anything below can reach minsup anymore.
 		if kSize+(m.n-j) < m.minsup {
 			break
@@ -202,6 +211,7 @@ func (m *miner) exploreTable(items []itemset.Item, kSize, ell int) error {
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
+		m.ctl.CountOps(1) // one transaction intersection per scan step
 		if kSize+(m.n-j) < m.minsup {
 			break
 		}
@@ -249,5 +259,5 @@ func (m *miner) report(s itemset.Set, support int) {
 	if m.ctl.PollNodes(m.repo.Len()) != nil {
 		return
 	}
-	m.rep.Report(m.prep.DecodeSet(s), support)
+	m.rep.Report(m.pre.DecodeSet(s), support)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/naive"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -95,8 +96,8 @@ func TestMineOrderInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, io := range []dataset.ItemOrder{dataset.OrderAscFreq, dataset.OrderDescFreq, dataset.OrderKeep} {
-			for _, to := range []dataset.TransOrder{dataset.OrderSizeAsc, dataset.OrderSizeDesc, dataset.OrderOriginal} {
+		for _, io := range []prep.ItemOrder{prep.OrderAscFreq, prep.OrderDescFreq, prep.OrderKeep} {
+			for _, to := range []prep.TransOrder{prep.OrderSizeAsc, prep.OrderSizeDesc, prep.OrderOriginal} {
 				var got result.Set
 				err := Mine(db, Options{MinSupport: minsup, ItemOrder: io, TransOrder: to, Variant: Table}, got.Collect())
 				if err != nil {

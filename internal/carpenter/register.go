@@ -1,0 +1,29 @@
+package carpenter
+
+import (
+	"repro/internal/engine"
+	"repro/internal/prep"
+	"repro/internal/result"
+)
+
+func init() {
+	for _, v := range []Variant{Table, Lists} {
+		variant := v
+		doc := "transaction set enumeration over the counter matrix of Table 1 (§3.1.2)"
+		order := 10
+		if variant == Lists {
+			doc = "transaction set enumeration over per-item tid lists (§3.1.1)"
+			order = 11
+		}
+		engine.Register(engine.Registration{
+			Name:    variant.String(),
+			Doc:     doc,
+			Targets: []engine.Target{engine.Closed},
+			Prep:    prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderSizeAsc},
+			Order:   order,
+			Mine: func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
+				return minePrepared(pre, spec.MinSupport, variant, false, false, spec.Control(), rep)
+			},
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -57,12 +58,19 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	if minsup < 1 {
 		minsup = 1
 	}
-	threshold := opts.RowThreshold
+	pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderOriginal})
+	ctl := mining.Guarded(opts.Done, opts.Guard)
+	return minePrepared(pre, minsup, opts.RowThreshold, opts.Guard, ctl, rep)
+}
+
+// minePrepared is the combined column/row enumeration on an already
+// preprocessed database. g is the shared guard (needed separately from
+// ctl because nested Carpenter runs build their own controls on it).
+func minePrepared(pre *prep.Prepared, minsup, threshold int, g *guard.Guard, ctl *mining.Control, rep result.Reporter) error {
 	if threshold == 0 {
 		threshold = defaultRowThreshold
 	}
-	prep := dataset.Prepare(db, minsup, dataset.OrderAscFreq, dataset.OrderOriginal)
-	pdb := prep.DB
+	pdb := pre.DB
 	if pdb.Items == 0 || len(pdb.Trans) < minsup {
 		return nil
 	}
@@ -71,10 +79,10 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		minsup:    minsup,
 		threshold: threshold,
 		db:        pdb,
-		prep:      prep,
+		pre:       pre,
 		rep:       rep,
-		ctl:       mining.Guarded(opts.Done, opts.Guard),
-		guard:     opts.Guard,
+		ctl:       ctl,
+		guard:     g,
 		reported:  make(map[string]bool),
 	}
 
@@ -105,7 +113,7 @@ type miner struct {
 	minsup    int
 	threshold int
 	db        *dataset.Database
-	prep      *dataset.Prepared
+	pre       *prep.Prepared
 	rep       result.Reporter
 	ctl       *mining.Control
 	guard     *guard.Guard
@@ -121,6 +129,7 @@ func (m *miner) mine(prefix itemset.Set, exts []ext) error {
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
+		m.ctl.CountOps(len(exts) - idx - 1) // tid-list intersections below
 		supp := len(e.tids)
 
 		if supp <= m.threshold {
@@ -210,7 +219,7 @@ func (m *miner) emit(items itemset.Set, supp int) {
 	if m.ctl.PollNodes(len(m.reported)) != nil {
 		return
 	}
-	m.rep.Report(m.prep.DecodeSet(items), supp)
+	m.rep.Report(m.pre.DecodeSet(items), supp)
 }
 
 // doneOf adapts the control back to a done channel for the nested

@@ -5,6 +5,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -16,10 +17,10 @@ type Options struct {
 	MinSupport int
 	// ItemOrder selects the item coding (§3.4; default ascending
 	// frequency — the rarest item gets code 0).
-	ItemOrder dataset.ItemOrder
+	ItemOrder prep.ItemOrder
 	// TransOrder selects the transaction processing order (§3.4; default
 	// increasing size).
-	TransOrder dataset.TransOrder
+	TransOrder prep.TransOrder
 	// DisablePruning turns off the item-elimination tree pruning of §3.2.
 	// Pruning never changes the result, only time and memory.
 	DisablePruning bool
@@ -37,7 +38,8 @@ const pruneMinNodes = 4096
 
 // Mine runs IsTa on db and reports every closed item set with support at
 // least opts.MinSupport, in the database's original item codes. It is the
-// entry point for the paper's primary algorithm.
+// entry point for the paper's primary algorithm; engine-driven runs enter
+// through the registration in register.go instead.
 func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	if err := db.Validate(); err != nil {
 		return err
@@ -47,9 +49,13 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		minsup = 1
 	}
 	ctl := mining.Guarded(opts.Done, opts.Guard)
+	pre := prep.Prepare(db, minsup, prep.Config{Items: opts.ItemOrder, Trans: opts.TransOrder})
+	return minePrepared(pre, minsup, opts.DisablePruning, ctl, rep)
+}
 
-	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
-	pdb := prep.DB
+// minePrepared is the IsTa core on an already preprocessed database.
+func minePrepared(pre *prep.Prepared, minsup int, disablePruning bool, ctl *mining.Control, rep result.Reporter) error {
+	pdb := pre.DB
 	if pdb.Items == 0 {
 		return nil
 	}
@@ -58,8 +64,8 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	// transactions; it starts at the global frequencies and is decremented
 	// as transactions are consumed (§3.2).
 	var remain []int
-	if !opts.DisablePruning {
-		remain = append([]int(nil), prep.Freq...)
+	if !disablePruning {
+		remain = append([]int(nil), pre.Freq...)
 	}
 
 	tree := NewTree(pdb.Items)
@@ -74,6 +80,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		if err := ctl.Tick(); err != nil {
 			return err
 		}
+		ctl.CountOps(1) // one cumulative intersection pass per transaction
 		tree.AddTransaction(t)
 		if tree.Aborted() {
 			return ctl.Cause()
@@ -111,7 +118,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 			err = e
 			return
 		}
-		rep.Report(prep.DecodeSet(items), support)
+		rep.Report(pre.DecodeSet(items), support)
 	})
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/naive"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -61,8 +62,8 @@ func TestMineMatchesOracle(t *testing.T) {
 // only affects speed).
 func TestMineOrderInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(102))
-	itemOrders := []dataset.ItemOrder{dataset.OrderAscFreq, dataset.OrderDescFreq, dataset.OrderKeep}
-	transOrders := []dataset.TransOrder{dataset.OrderSizeAsc, dataset.OrderSizeDesc, dataset.OrderOriginal}
+	itemOrders := []prep.ItemOrder{prep.OrderAscFreq, prep.OrderDescFreq, prep.OrderKeep}
+	transOrders := []prep.TransOrder{prep.OrderSizeAsc, prep.OrderSizeDesc, prep.OrderOriginal}
 	for trial := 0; trial < 40; trial++ {
 		db := randDB(rng, 2+rng.Intn(9), 2+rng.Intn(12), 0.2+rng.Float64()*0.5)
 		minsup := 1 + rng.Intn(3)
@@ -199,10 +200,10 @@ func TestPruneDirect(t *testing.T) {
 		db := randDB(rng, items, n, 0.2+rng.Float64()*0.5)
 		minsup := 2 + rng.Intn(3)
 
-		prep := dataset.Prepare(db, minsup, dataset.OrderAscFreq, dataset.OrderSizeAsc)
-		remain := append([]int(nil), prep.Freq...)
-		tree := NewTree(prep.DB.Items)
-		for _, tr := range prep.DB.Trans {
+		pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderSizeAsc})
+		remain := append([]int(nil), pre.Freq...)
+		tree := NewTree(pre.DB.Items)
+		for _, tr := range pre.DB.Trans {
 			tree.AddTransaction(tr)
 			for _, i := range tr {
 				remain[i]--
@@ -211,7 +212,7 @@ func TestPruneDirect(t *testing.T) {
 		}
 		var got result.Set
 		tree.Report(minsup, func(s itemset.Set, supp int) {
-			got.Add(prep.DecodeSet(s), supp)
+			got.Add(pre.DecodeSet(s), supp)
 		})
 		want, err := naive.ClosedByTransactionSubsets(db, minsup)
 		if err != nil {

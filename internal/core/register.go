@@ -1,0 +1,20 @@
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/prep"
+	"repro/internal/result"
+)
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:    "ista",
+		Doc:     "cumulative transaction intersection with a prefix-tree repository (§3.2–3.4)",
+		Targets: []engine.Target{engine.Closed},
+		Prep:    prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderSizeAsc},
+		Order:   0,
+		Mine: func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
+			return minePrepared(pre, spec.MinSupport, false, spec.Control(), rep)
+		},
+	})
+}

@@ -10,29 +10,34 @@ package eclat
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
 // Target selects what Mine reports.
-type Target int
+//
+// Deprecated: Target and its constants are aliases for the shared
+// engine.Target; the zero value is Closed (it used to be All).
+type Target = engine.Target
 
 const (
 	// All reports every frequent item set.
-	All Target = iota
+	All = engine.All
 	// Closed reports the closed frequent item sets.
-	Closed
+	Closed = engine.Closed
 	// Maximal reports the maximal frequent item sets.
-	Maximal
+	Maximal = engine.Maximal
 )
 
 // Options configures the miner.
 type Options struct {
 	// MinSupport is the absolute minimum support; values < 1 act as 1.
 	MinSupport int
-	// Target selects all (default), closed, or maximal sets.
+	// Target selects closed (default), all, or maximal sets.
 	Target Target
 	// Done optionally cancels the run.
 	Done <-chan struct{}
@@ -57,20 +62,26 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	if minsup < 1 {
 		minsup = 1
 	}
-	prep := dataset.Prepare(db, minsup, dataset.OrderAscFreq, dataset.OrderOriginal)
-	pdb := prep.DB
+	pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderOriginal})
+	ctl := mining.Guarded(opts.Done, opts.Guard)
+	return minePrepared(pre, minsup, opts.Target, ctl, rep)
+}
+
+// minePrepared is the Eclat search on an already preprocessed database.
+func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Control, rep result.Reporter) error {
+	pdb := pre.DB
 	if pdb.Items == 0 {
 		return nil
 	}
 
 	m := &eclatMiner{
 		minsup: minsup,
-		target: opts.Target,
-		prep:   prep,
+		target: target,
+		pre:    pre,
 		rep:    rep,
-		ctl:    mining.Guarded(opts.Done, opts.Guard),
+		ctl:    ctl,
 	}
-	if opts.Target == Maximal {
+	if target == Maximal {
 		// Mine closed sets into a buffer and post-filter: the maximal
 		// frequent sets are the closed sets without closed proper
 		// supersets.
@@ -92,7 +103,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 type eclatMiner struct {
 	minsup int
 	target Target
-	prep   *dataset.Prepared
+	pre    *prep.Prepared
 	rep    result.Reporter
 	ctl    *mining.Control
 	cfi    result.CFITree
@@ -117,6 +128,7 @@ func (m *eclatMiner) mine(prefix itemset.Set, exts []ext) error {
 			return err
 		}
 		supp := len(e.tids)
+		m.ctl.CountOps(len(exts) - idx - 1) // tid-list intersections below
 
 		// Intersect with the remaining extensions.
 		var next []ext
@@ -168,7 +180,7 @@ func (m *eclatMiner) mine(prefix itemset.Set, exts []ext) error {
 }
 
 func (m *eclatMiner) emit(items itemset.Set, supp int) {
-	m.rep.Report(m.prep.DecodeSet(items), supp)
+	m.rep.Report(m.pre.DecodeSet(items), supp)
 }
 
 func intersectTids(a, b []int32) []int32 {

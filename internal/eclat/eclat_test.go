@@ -61,28 +61,6 @@ func TestAllMatchesBruteForce(t *testing.T) {
 	}
 }
 
-func TestClosedMatchesOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(502))
-	for trial := 0; trial < 120; trial++ {
-		items := 2 + rng.Intn(10)
-		n := 1 + rng.Intn(14)
-		db := randDB(rng, items, n, 0.1+rng.Float64()*0.6)
-		for _, minsup := range []int{1, 2, 3, n/2 + 1} {
-			want, err := naive.ClosedByTransactionSubsets(db, minsup)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var got result.Set
-			if err := Mine(db, Options{MinSupport: minsup, Target: Closed}, got.Collect()); err != nil {
-				t.Fatal(err)
-			}
-			if !got.Equal(want) {
-				t.Fatalf("eclat(closed) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
-			}
-		}
-	}
-}
-
 // bruteMaximal derives the maximal frequent sets from the closed oracle.
 func bruteMaximal(db *dataset.Database, minsup int) (*result.Set, error) {
 	closed, err := naive.ClosedByTransactionSubsets(db, minsup)

@@ -1,0 +1,167 @@
+// Package engine is the dispatch layer between the public API and the
+// individual mining algorithms. Each algorithm package self-registers a
+// capability declaration (Registration) in its init function; the engine
+// looks miners up by name, runs the shared preprocessing pipeline
+// (internal/prep) they declare, attaches cancellation/guard machinery and
+// per-run Stats, and invokes the miner on the prepared database.
+//
+// Adding an algorithm therefore requires only a new package with an init
+// that calls Register, plus a blank import where miners are linked in
+// (the root fim package). Nothing in the engine, the public API, or the
+// command line tool names individual algorithms.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/guard"
+	"repro/internal/itemset"
+	"repro/internal/mining"
+	"repro/internal/prep"
+	"repro/internal/result"
+)
+
+// Target selects which family of frequent item sets a run mines. The zero
+// value is Closed, the repository's primary target (§2.4 of the paper).
+type Target int
+
+const (
+	// Closed mines the closed frequent item sets.
+	Closed Target = iota
+	// All mines every frequent item set.
+	All
+	// Maximal mines the maximal frequent item sets.
+	Maximal
+)
+
+func (t Target) String() string {
+	switch t {
+	case Closed:
+		return "closed"
+	case All:
+		return "all"
+	case Maximal:
+		return "maximal"
+	}
+	return fmt.Sprintf("target(%d)", int(t))
+}
+
+// Spec is the unified run specification every miner receives; it replaces
+// the per-package Options clones. Algorithm-specific ablation switches
+// (pruning, item elimination, …) are deliberately absent: they stay on
+// the packages' own entry points for the bench harness.
+type Spec struct {
+	// MinSupport is the absolute minimum support; Run clamps values
+	// below 1 to 1 before any miner sees them.
+	MinSupport int
+	// Target selects the mined family; the registration must declare it.
+	Target Target
+	// Workers selects parallel mining for algorithms that registered a
+	// parallel engine: 0 or 1 mean sequential, >= 2 that many workers,
+	// negative all cores. Algorithms without a parallel engine run
+	// sequentially regardless.
+	Workers int
+	// Done, when closed, cancels the run (mining.ErrCanceled).
+	Done <-chan struct{}
+	// Guard, when non-nil, bounds the run (deadline, pattern and node
+	// budgets) with typed errors.
+	Guard *guard.Guard
+	// Stats, when non-nil, is filled with per-run counters and timings.
+	Stats *Stats
+
+	ctl *mining.Control
+}
+
+// Control returns the cancellation/budget/stats control Run built for
+// this run. Miners must thread it through their loops instead of creating
+// their own so that budgets and counters are shared.
+func (s *Spec) Control() *mining.Control { return s.ctl }
+
+// ErrUnknownAlgorithm is wrapped by Run's error for an unregistered name.
+var ErrUnknownAlgorithm = errors.New("engine: unknown algorithm")
+
+// ErrUnsupportedTarget is wrapped by Run's error when the registration
+// does not declare the requested Target.
+var ErrUnsupportedTarget = errors.New("engine: unsupported target")
+
+// Run validates db, looks up the named miner, applies its declared
+// preprocessing, and streams the mined patterns (in original item codes)
+// into rep. Cancellation, guard budgets, and panic semantics are those of
+// the miner itself; Run adds nothing and swallows nothing, so the typed
+// guard errors and the valid-prefix contract (DESIGN.md §5b) pass through
+// unchanged.
+func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) error {
+	reg, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("%w %q (available: %s)", ErrUnknownAlgorithm, name, strings.Join(Names(), ", "))
+	}
+	if !reg.SupportsTarget(spec.Target) {
+		return fmt.Errorf("%w: %s does not mine %s sets", ErrUnsupportedTarget, reg.Name, spec.Target)
+	}
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	if spec.MinSupport < 1 {
+		spec.MinSupport = 1
+	}
+
+	parallel := reg.parallel != nil && (spec.Workers < 0 || spec.Workers >= 2)
+	var counters *mining.Counters
+	if spec.Stats != nil {
+		counters = &mining.Counters{}
+		*spec.Stats = Stats{
+			Algorithm:    reg.Name,
+			Target:       spec.Target,
+			MinSupport:   spec.MinSupport,
+			Parallel:     parallel,
+			Transactions: len(db.Trans),
+			Items:        db.Items,
+		}
+		rep = countingReporter{rep, spec.Stats}
+	}
+	spec.ctl = mining.GuardedCounted(spec.Done, spec.Guard, counters)
+
+	start := time.Now()
+	pre := prep.Prepare(db, spec.MinSupport, reg.Prep)
+	prepDone := time.Now()
+	if spec.Stats != nil {
+		spec.Stats.PrepTime = prepDone.Sub(start)
+		spec.Stats.PreppedTransactions = len(pre.DB.Trans)
+		spec.Stats.PreppedItems = pre.DB.Items
+	}
+
+	var err error
+	if pre.DB.Items > 0 {
+		fn := reg.Mine
+		if parallel {
+			fn = reg.parallel
+		}
+		err = fn(pre, &spec, rep)
+	}
+	spec.ctl.Flush()
+	if spec.Stats != nil {
+		spec.Stats.MineTime = time.Since(prepDone)
+		spec.Stats.Checks = counters.Checks.Load()
+		spec.Stats.Ops = counters.Ops.Load()
+		spec.Stats.NodesPeak = counters.NodesPeak.Load()
+	}
+	return err
+}
+
+// countingReporter counts the patterns the miner reports. Both the
+// sequential miners and the parallel engines emit patterns from a single
+// goroutine (the parallel engines merge before reporting), so a plain
+// increment suffices.
+type countingReporter struct {
+	rep   result.Reporter
+	stats *Stats
+}
+
+func (c countingReporter) Report(items itemset.Set, support int) {
+	c.stats.Patterns++
+	c.rep.Report(items, support)
+}

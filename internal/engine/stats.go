@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats holds the observability counters of one mining run. Run fills it
+// when Spec.Stats is non-nil; the counters ride the amortized slow path
+// of mining.Control (and the reporting path), so collecting them does not
+// perturb the mining hot loops.
+type Stats struct {
+	// Algorithm, Target and MinSupport echo the resolved run parameters
+	// (after algorithm lookup and support clamping).
+	Algorithm  string
+	Target     Target
+	MinSupport int
+	// Parallel reports whether the run used the algorithm's parallel
+	// engine.
+	Parallel bool
+
+	// Transactions and Items describe the input database;
+	// PreppedTransactions and PreppedItems the database after
+	// preprocessing (infrequent items and emptied transactions removed).
+	Transactions        int
+	Items               int
+	PreppedTransactions int
+	PreppedItems        int
+
+	// Patterns counts the patterns the miner reported.
+	Patterns int64
+	// Checks counts amortized cancellation/budget checkpoints.
+	Checks int64
+	// Ops counts algorithm work units (intersections performed,
+	// candidate extensions tested).
+	Ops int64
+	// NodesPeak is the largest repository size observed (prefix-tree
+	// nodes or stored sets; 0 for algorithms without a polled
+	// repository).
+	NodesPeak int64
+
+	// PrepTime and MineTime split the run's wall clock between the
+	// shared preprocessing pipeline and the miner itself.
+	PrepTime time.Duration
+	MineTime time.Duration
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"algo=%s target=%s minsup=%d parallel=%v db=%d/%d trans %d/%d items patterns=%d ops=%d checks=%d nodes-peak=%d prep=%s mine=%s",
+		s.Algorithm, s.Target, s.MinSupport, s.Parallel,
+		s.PreppedTransactions, s.Transactions, s.PreppedItems, s.Items,
+		s.Patterns, s.Ops, s.Checks, s.NodesPeak,
+		s.PrepTime.Round(time.Microsecond), s.MineTime.Round(time.Microsecond))
+}

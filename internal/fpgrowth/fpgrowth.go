@@ -16,20 +16,25 @@ package fpgrowth
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
 // Target selects what Mine reports.
-type Target int
+//
+// Deprecated: Target and its constants are aliases for the shared
+// engine.Target.
+type Target = engine.Target
 
 const (
 	// Closed reports closed frequent item sets (FP-close).
-	Closed Target = iota
+	Closed = engine.Closed
 	// All reports every frequent item set (plain FP-growth).
-	All
+	All = engine.All
 )
 
 // Options configures the miner.
@@ -99,8 +104,15 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	}
 	// Descending frequency coding puts frequent items near the root,
 	// which is what keeps the FP-tree compact.
-	prep := dataset.Prepare(db, minsup, dataset.OrderDescFreq, dataset.OrderOriginal)
-	pdb := prep.DB
+	pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderDescFreq, Trans: prep.OrderOriginal})
+	ctl := mining.Guarded(opts.Done, opts.Guard)
+	return minePrepared(pre, minsup, opts.Target, ctl, rep)
+}
+
+// minePrepared is FP-growth / FP-close on an already preprocessed
+// database.
+func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Control, rep result.Reporter) error {
+	pdb := pre.DB
 	if pdb.Items == 0 {
 		return nil
 	}
@@ -116,10 +128,10 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 
 	m := &fpMiner{
 		minsup: int32(minsup),
-		target: opts.Target,
-		prep:   prep,
+		target: target,
+		pre:    pre,
 		rep:    rep,
-		ctl:    mining.Guarded(opts.Done, opts.Guard),
+		ctl:    ctl,
 	}
 	prefix := make(itemset.Set, 0, 32)
 	return m.mine(tree, prefix)
@@ -128,7 +140,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 type fpMiner struct {
 	minsup int32
 	target Target
-	prep   *dataset.Prepared
+	pre    *prep.Prepared
 	rep    result.Reporter
 	ctl    *mining.Control
 	cfi    result.CFITree // repository for the closed target
@@ -146,6 +158,7 @@ func (m *fpMiner) mine(tree *fpTree, prefix itemset.Set) error {
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
+		m.ctl.CountOps(1) // one conditional projection per frequent item
 
 		// Count the conditional pattern base of item i.
 		condCounts := make([]int32, i) // only items with smaller codes occur above i
@@ -246,5 +259,5 @@ func (m *fpMiner) buildConditional(tree *fpTree, i int, condCounts []int32, perf
 
 // emit decodes and reports one pattern.
 func (m *fpMiner) emit(items itemset.Set, supp int) {
-	m.rep.Report(m.prep.DecodeSet(items), supp)
+	m.rep.Report(m.pre.DecodeSet(items), supp)
 }

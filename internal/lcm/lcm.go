@@ -11,6 +11,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -35,8 +36,15 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	if minsup < 1 {
 		minsup = 1
 	}
-	prep := dataset.Prepare(db, minsup, dataset.OrderAscFreq, dataset.OrderOriginal)
-	pdb := prep.DB
+	pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderOriginal})
+	ctl := mining.Guarded(opts.Done, opts.Guard)
+	return minePrepared(pre, minsup, ctl, rep)
+}
+
+// minePrepared is the ppc-extension enumeration on an already
+// preprocessed database.
+func minePrepared(pre *prep.Prepared, minsup int, ctl *mining.Control, rep result.Reporter) error {
+	pdb := pre.DB
 	if pdb.Items == 0 || len(pdb.Trans) < minsup {
 		return nil
 	}
@@ -44,9 +52,9 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	m := &lcmMiner{
 		minsup: minsup,
 		db:     pdb,
-		prep:   prep,
+		pre:    pre,
 		rep:    rep,
-		ctl:    mining.Guarded(opts.Done, opts.Guard),
+		ctl:    ctl,
 	}
 
 	// Root: the closure of the full transaction set.
@@ -56,7 +64,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	}
 	root, counts := m.closure(all)
 	if len(root) > 0 {
-		m.rep.Report(m.prep.DecodeSet(root), len(all))
+		m.rep.Report(m.pre.DecodeSet(root), len(all))
 	}
 	return m.expand(root, all, counts, -1)
 }
@@ -64,7 +72,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 type lcmMiner struct {
 	minsup int
 	db     *dataset.Database
-	prep   *dataset.Prepared
+	pre    *prep.Prepared
 	rep    result.Reporter
 	ctl    *mining.Control
 }
@@ -102,6 +110,7 @@ func (m *lcmMiner) expand(p itemset.Set, tids []int32, counts []int, core int) e
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
+		m.ctl.CountOps(1) // one ppc-extension attempt (cover + closure)
 		// Cover of p ∪ {i}.
 		sub := make([]int32, 0, counts[i])
 		for _, t := range tids {
@@ -115,7 +124,7 @@ func (m *lcmMiner) expand(p itemset.Set, tids []int32, counts []int, core int) e
 		if !prefixPreserved(p, q, itemset.Item(i)) {
 			continue
 		}
-		m.rep.Report(m.prep.DecodeSet(q), len(sub))
+		m.rep.Report(m.pre.DecodeSet(q), len(sub))
 		if err := m.expand(q, sub, qCounts, i); err != nil {
 			return err
 		}

@@ -8,7 +8,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/itemset"
 	"repro/internal/mining"
-	"repro/internal/naive"
 	"repro/internal/result"
 )
 
@@ -24,28 +23,6 @@ func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
 		trans[k] = t
 	}
 	return dataset.New(trans, items)
-}
-
-func TestMatchesOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(401))
-	for trial := 0; trial < 120; trial++ {
-		items := 2 + rng.Intn(10)
-		n := 1 + rng.Intn(14)
-		db := randDB(rng, items, n, 0.1+rng.Float64()*0.6)
-		for _, minsup := range []int{1, 2, 3, n/2 + 1} {
-			want, err := naive.ClosedByTransactionSubsets(db, minsup)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var got result.Set
-			if err := Mine(db, Options{MinSupport: minsup}, got.Collect()); err != nil {
-				t.Fatal(err)
-			}
-			if !got.Equal(want) {
-				t.Fatalf("LCM mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
-			}
-		}
-	}
 }
 
 // TestNoDuplicates: ppc-extension must emit every closed set exactly once

@@ -1,0 +1,20 @@
+package lcm
+
+import (
+	"repro/internal/engine"
+	"repro/internal/prep"
+	"repro/internal/result"
+)
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:    "lcm",
+		Doc:     "prefix-preserving closure extension, repository-free closed enumeration (Uno et al.)",
+		Targets: []engine.Target{engine.Closed},
+		Prep:    prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderOriginal},
+		Order:   40,
+		Mine: func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
+			return minePrepared(pre, spec.MinSupport, spec.Control(), rep)
+		},
+	})
+}

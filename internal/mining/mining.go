@@ -7,6 +7,7 @@ package mining
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"repro/internal/guard"
 )
@@ -43,15 +44,48 @@ func SetCheckInterval(n int) (restore func()) {
 // active.
 var TickHook func() error
 
+// Counters accumulates per-run observability counters. A single Counters
+// may be shared by many Controls (one per worker goroutine); all fields
+// are updated atomically, and only on the Controls' amortized slow paths
+// so the mining hot loops stay unchanged. A nil *Counters disables all
+// counting.
+type Counters struct {
+	// Checks counts amortized cancellation checkpoints (Control slow-path
+	// checks, one per checkInterval Ticks).
+	Checks atomic.Int64
+	// Ops counts algorithm work units — intersections performed,
+	// candidate extensions tested — as reported by CountOps.
+	Ops atomic.Int64
+	// NodesPeak tracks the largest repository size (prefix-tree nodes or
+	// stored sets) observed through PollNodes.
+	NodesPeak atomic.Int64
+}
+
+// PeakNodes records n as a candidate repository peak.
+func (c *Counters) PeakNodes(n int) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.NodesPeak.Load()
+		if int64(n) <= cur || c.NodesPeak.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
 // Control performs cheap cooperative cancellation and budget checks
 // inside mining loops. The zero value (or a nil *Control) never cancels.
 // A Control is not safe for concurrent use; give each worker goroutine
-// its own Control on the same done channel and shared Guard.
+// its own Control on the same done channel and shared Guard (and,
+// optionally, shared Counters).
 type Control struct {
-	done   <-chan struct{}
-	guard  *guard.Guard
-	budget int
-	err    error // latched: once failed, every check reports this error
+	done     <-chan struct{}
+	guard    *guard.Guard
+	counters *Counters
+	budget   int
+	ops      int64 // CountOps units not yet flushed to counters
+	err      error // latched: once failed, every check reports this error
 }
 
 // NewControl returns a Control watching done; done may be nil. The first
@@ -69,6 +103,36 @@ func Guarded(done <-chan struct{}, g *guard.Guard) *Control {
 	return &Control{done: done, guard: g, budget: 1}
 }
 
+// GuardedCounted is Guarded with an optional shared Counters that the
+// Control feeds on its amortized slow path (engine stats). All arguments
+// may be nil.
+func GuardedCounted(done <-chan struct{}, g *guard.Guard, c *Counters) *Control {
+	return &Control{done: done, guard: g, counters: c, budget: 1}
+}
+
+// CountOps records n algorithm work units (intersections, extension
+// tests). The units accumulate in a Control-local counter and are flushed
+// to the shared Counters on the next amortized check or Flush, so the
+// call is a plain add on the hot path.
+func (c *Control) CountOps(n int) {
+	if c == nil || c.counters == nil {
+		return
+	}
+	c.ops += int64(n)
+}
+
+// Flush pushes any unflushed counter state to the shared Counters. The
+// engine calls it once after a run; miners never need to.
+func (c *Control) Flush() {
+	if c == nil || c.counters == nil {
+		return
+	}
+	if c.ops > 0 {
+		c.counters.Ops.Add(c.ops)
+		c.ops = 0
+	}
+}
+
 // Tick must be called periodically from mining inner loops. It returns
 // ErrCanceled once done is closed, or the guard's typed error
 // (guard.ErrDeadline, guard.ErrBudget) once the budget trips — possibly
@@ -76,7 +140,7 @@ func Guarded(done <-chan struct{}, g *guard.Guard) *Control {
 // every subsequent call reports it immediately, so callers that keep
 // polling cannot resume mining past a cancellation.
 func (c *Control) Tick() error {
-	if c == nil || (c.done == nil && c.guard == nil && TickHook == nil) {
+	if c == nil || (c.done == nil && c.guard == nil && c.counters == nil && TickHook == nil) {
 		return nil
 	}
 	if c.err != nil {
@@ -90,10 +154,17 @@ func (c *Control) Tick() error {
 	return c.check()
 }
 
-// check is the slow path of Tick: fault-injection hook, guard deadline,
-// done channel, in that order (so a simultaneous deadline and
-// cancellation deterministically reports the deadline).
+// check is the slow path of Tick: counter flush, fault-injection hook,
+// guard deadline, done channel, in that order (so a simultaneous deadline
+// and cancellation deterministically reports the deadline).
 func (c *Control) check() error {
+	if c.counters != nil {
+		c.counters.Checks.Add(1)
+		if c.ops > 0 {
+			c.counters.Ops.Add(c.ops)
+			c.ops = 0
+		}
+	}
 	if h := TickHook; h != nil {
 		if err := h(); err != nil {
 			c.err = err
@@ -143,9 +214,14 @@ func (c *Control) Canceled() bool {
 
 // PollNodes checks a repository size against the guard's node budget and
 // latches (and returns) the budget error when it is exceeded. With no
-// guard it always returns nil.
+// guard it always returns nil. The size is also recorded as a repository
+// peak when counters are attached, budget or not.
 func (c *Control) PollNodes(n int) error {
-	if c == nil || c.guard == nil {
+	if c == nil {
+		return nil
+	}
+	c.counters.PeakNodes(n)
+	if c.guard == nil {
 		return nil
 	}
 	if c.err != nil {

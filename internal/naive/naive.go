@@ -14,6 +14,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -47,12 +48,19 @@ func FlatCumulative(db *dataset.Database, opts FlatOptions, rep result.Reporter)
 		minsup = 1
 	}
 	ctl := mining.Guarded(opts.Done, opts.Guard)
+	// Keep the original item codes (compacted): removing infrequent items
+	// changes neither the closed frequent sets nor their supports — any
+	// item in the closure of a frequent set is itself frequent.
+	pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderKeep, Trans: prep.OrderOriginal})
+	return minePrepared(pre, minsup, ctl, rep)
+}
 
+// minePrepared is the flat cumulative scheme on an already preprocessed
+// database.
+func minePrepared(pre *prep.Prepared, minsup int, ctl *mining.Control, rep result.Reporter) error {
 	repo := make(map[string]*flatEntry)
-	for _, t := range db.Trans {
-		if len(t) == 0 {
-			continue
-		}
+	for _, t := range pre.DB.Trans {
+		ctl.CountOps(len(repo)) // one intersection per stored set
 		// Collect the support contribution of this step per result set:
 		// for result r, the best source is max over stored s with s∩t=r of
 		// supp(s); the transaction itself contributes with 0 (it may
@@ -94,7 +102,7 @@ func FlatCumulative(db *dataset.Database, opts FlatOptions, rep result.Reporter)
 	// So no closedness filtering is needed — only the support threshold.
 	for _, e := range repo {
 		if e.supp >= minsup {
-			rep.Report(e.items, e.supp)
+			rep.Report(pre.DecodeSet(e.items), e.supp)
 		}
 		if err := ctl.Tick(); err != nil {
 			return err

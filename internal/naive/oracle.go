@@ -64,6 +64,37 @@ func ClosedByTransactionSubsets(db *dataset.Database, minSupport int) (*result.S
 	return &out, nil
 }
 
+// FrequentByItemSubsets is the brute-force oracle for the "all frequent
+// sets" target: it enumerates every non-empty subset of the item
+// universe and keeps the ones whose support reaches minSupport. It only
+// accepts databases with at most 20 items.
+func FrequentByItemSubsets(db *dataset.Database, minSupport int) (*result.Set, error) {
+	if err := db.Validate(); err != nil {
+		return nil, err
+	}
+	if db.Items > maxOracleItems {
+		return nil, fmt.Errorf("naive: oracle limited to %d items, got %d", maxOracleItems, db.Items)
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	var out result.Set
+	items := make(itemset.Set, 0, db.Items)
+	for mask := 1; mask < 1<<uint(db.Items); mask++ {
+		items = items[:0]
+		for i := 0; i < db.Items; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				items = append(items, itemset.Item(i))
+			}
+		}
+		if supp := result.Support(db, items); supp >= minSupport {
+			out.Add(items.Clone(), supp)
+		}
+	}
+	out.Sort()
+	return &out, nil
+}
+
 // ClosedByItemSubsets is the second, fully independent oracle: it
 // enumerates every non-empty subset of the item universe, computes its
 // support directly, and keeps the sets that are frequent and closed per

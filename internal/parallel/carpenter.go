@@ -8,6 +8,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -43,15 +44,22 @@ func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter)
 	}
 
 	ctl := mining.Guarded(opts.Done, opts.Guard)
-	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
-	if prep.DB.Items == 0 || len(prep.DB.Trans) < minsup {
+	pre := prep.Prepare(db, minsup, prep.Config{Items: opts.ItemOrder, Trans: opts.TransOrder})
+	return minePreparedCarpenter(pre, minsup, workers, opts.Done, opts.Guard, ctl, rep)
+}
+
+// minePreparedCarpenter is the branch-parallel table Carpenter on an
+// already preprocessed database. done/g are needed separately from ctl
+// because each worker builds a private control on them.
+func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan struct{}, g *guard.Guard, ctl *mining.Control, rep result.Reporter) error {
+	if pre.DB.Items == 0 || len(pre.DB.Trans) < minsup {
 		return nil
 	}
 	if err := ctl.Tick(); err != nil {
 		return err
 	}
 
-	brancher := carpenter.NewTableBrancher(prep, minsup, false)
+	brancher := carpenter.NewTableBrancher(pre, minsup, false)
 	branches := brancher.Branches()
 
 	// Round-robin assignment keeps each worker's branches in increasing
@@ -72,7 +80,7 @@ func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter)
 			defer guard.Recover(&errs[w])
 			m := result.NewMaxMerger()
 			merged[w] = m
-			worker := brancher.NewWorker(opts.Done, opts.Guard, result.ReporterFunc(
+			worker := brancher.NewWorker(done, g, result.ReporterFunc(
 				func(items itemset.Set, supp int) { m.Add(items, supp) }))
 			for b := w; b < len(branches); b += workers {
 				if err := worker.Explore(branches[b]); err != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
@@ -37,8 +38,15 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 	}
 
 	ctl := mining.Guarded(opts.Done, opts.Guard)
-	prep := dataset.Prepare(db, minsup, opts.ItemOrder, opts.TransOrder)
-	pdb := prep.DB
+	pre := prep.Prepare(db, minsup, prep.Config{Items: opts.ItemOrder, Trans: opts.TransOrder})
+	return minePreparedIsTa(pre, minsup, workers, opts.Done, opts.Guard, ctl, rep)
+}
+
+// minePreparedIsTa is the sharded IsTa engine on an already preprocessed
+// database. done/g are needed separately from ctl because each worker
+// builds a private control on them.
+func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struct{}, g *guard.Guard, ctl *mining.Control, rep result.Reporter) error {
+	pdb := pre.DB
 	if pdb.Items == 0 {
 		return nil
 	}
@@ -74,7 +82,7 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 			if floor < 1 {
 				floor = 1
 			}
-			patterns[w], errs[w] = mineShard(pdb.Items, shards[w], floor, opts.Done, opts.Guard)
+			patterns[w], errs[w] = mineShard(pdb.Items, shards[w], floor, done, g)
 		}(w)
 	}
 	wg.Wait()
@@ -149,6 +157,7 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 		if err := ctl.Tick(); err != nil {
 			return err
 		}
+		ctl.CountOps(1) // one weighted replay insertion
 		mtree.AddWeighted(p.items, p.weight)
 		if mtree.Aborted() {
 			return ctl.Cause()
@@ -187,7 +196,7 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 		go func(w int) {
 			defer wg.Done()
 			defer guard.Recover(&countErrs[w])
-			wctl := mining.Guarded(opts.Done, opts.Guard)
+			wctl := mining.Guarded(done, g)
 			var bufs [2][]int32
 			for i := w; i < len(cands); i += workers {
 				if err := wctl.Tick(); err != nil {
@@ -218,7 +227,7 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 		return err
 	}
 	filt.Emit(result.ReporterFunc(func(s itemset.Set, support int) {
-		rep.Report(prep.DecodeSet(s), support)
+		rep.Report(pre.DecodeSet(s), support)
 	}))
 	return nil
 }

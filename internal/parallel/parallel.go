@@ -25,8 +25,8 @@ package parallel
 import (
 	"runtime"
 
-	"repro/internal/dataset"
 	"repro/internal/guard"
+	"repro/internal/prep"
 )
 
 // Options configures the parallel miners.
@@ -39,8 +39,8 @@ type Options struct {
 	Workers int
 	// ItemOrder / TransOrder select the preprocessing (§3.4), as in the
 	// sequential miners.
-	ItemOrder  dataset.ItemOrder
-	TransOrder dataset.TransOrder
+	ItemOrder  prep.ItemOrder
+	TransOrder prep.TransOrder
 	// Done optionally cancels the run across all workers; the miner then
 	// returns mining.ErrCanceled.
 	Done <-chan struct{}

@@ -1,0 +1,37 @@
+package parallel
+
+import (
+	"runtime"
+
+	"repro/internal/engine"
+	"repro/internal/prep"
+	"repro/internal/result"
+)
+
+// init attaches the parallel engines to the already-registered sequential
+// miners. The sequential registrations exist by now because this package
+// imports internal/core and internal/carpenter, whose inits run first.
+func init() {
+	engine.RegisterParallel("ista", func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
+		workers := spec.Workers
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers <= 1 {
+			reg, _ := engine.Lookup("ista")
+			return reg.Mine(pre, spec, rep)
+		}
+		return minePreparedIsTa(pre, spec.MinSupport, workers, spec.Done, spec.Guard, spec.Control(), rep)
+	})
+	engine.RegisterParallel("carpenter-table", func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
+		workers := spec.Workers
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers <= 1 {
+			reg, _ := engine.Lookup("carpenter-table")
+			return reg.Mine(pre, spec, rep)
+		}
+		return minePreparedCarpenter(pre, spec.MinSupport, workers, spec.Done, spec.Guard, spec.Control(), rep)
+	})
+}

@@ -1,0 +1,186 @@
+package prep
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// paperDB is the example transaction database from Table 1 of the paper,
+// with a=0, b=1, c=2, d=3, e=4.
+func paperDB() *dataset.Database {
+	return dataset.FromInts(
+		[]int{0, 1, 2},    // t1 = a b c
+		[]int{0, 3, 4},    // t2 = a d e
+		[]int{1, 2, 3},    // t3 = b c d
+		[]int{0, 1, 2, 3}, // t4 = a b c d
+		[]int{1, 2},       // t5 = b c
+		[]int{0, 1, 3},    // t6 = a b d
+		[]int{3, 4},       // t7 = d e
+		[]int{2, 3, 4},    // t8 = c d e
+	)
+}
+
+func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
+	trans := make([]itemset.Set, n)
+	for k := range trans {
+		var t itemset.Set
+		for i := 0; i < items; i++ {
+			if rng.Float64() < density {
+				t = append(t, itemset.Item(i))
+			}
+		}
+		trans[k] = t
+	}
+	return dataset.New(trans, items)
+}
+
+func TestPrepareDropsInfrequent(t *testing.T) {
+	db := paperDB()
+	p := Prepare(db, 4, Config{OrderAscFreq, OrderSizeAsc})
+	// e has frequency 3 < 4 and must vanish.
+	if p.DB.Items != 4 {
+		t.Fatalf("prepared universe = %d, want 4", p.DB.Items)
+	}
+	for _, orig := range p.Decode {
+		if orig == 4 {
+			t.Fatal("item e (4) should have been dropped")
+		}
+	}
+	// Ascending frequency: a(4) < b(5) = c(5) < d(6); ties by original code.
+	wantDecode := []itemset.Item{0, 1, 2, 3}
+	if !reflect.DeepEqual(p.Decode, wantDecode) {
+		t.Fatalf("decode = %v, want %v", p.Decode, wantDecode)
+	}
+	if !reflect.DeepEqual(p.Freq, []int{4, 5, 5, 6}) {
+		t.Fatalf("freq = %v", p.Freq)
+	}
+	if p.OrigTransactions != 8 {
+		t.Fatalf("OrigTransactions = %d", p.OrigTransactions)
+	}
+}
+
+func TestPrepareDropsEmptyTransactions(t *testing.T) {
+	db := dataset.FromInts([]int{0}, []int{1}, []int{0, 1}, []int{2})
+	p := Prepare(db, 2, Config{OrderAscFreq, OrderSizeAsc})
+	// Item 2 is infrequent; its transaction becomes empty and is dropped.
+	if len(p.DB.Trans) != 3 {
+		t.Fatalf("transactions = %d, want 3", len(p.DB.Trans))
+	}
+	if p.OrigTransactions != 4 {
+		t.Fatalf("OrigTransactions = %d, want 4", p.OrigTransactions)
+	}
+}
+
+func TestPrepareTransactionOrder(t *testing.T) {
+	db := dataset.FromInts([]int{0, 1, 2}, []int{0}, []int{1, 2}, []int{0, 2})
+	p := Prepare(db, 1, Config{OrderKeep, OrderSizeAsc})
+	lens := []int{}
+	for _, tr := range p.DB.Trans {
+		lens = append(lens, len(tr))
+	}
+	if !reflect.DeepEqual(lens, []int{1, 2, 2, 3}) {
+		t.Fatalf("lengths = %v", lens)
+	}
+	p = Prepare(db, 1, Config{OrderKeep, OrderSizeDesc})
+	lens = lens[:0]
+	for _, tr := range p.DB.Trans {
+		lens = append(lens, len(tr))
+	}
+	if !reflect.DeepEqual(lens, []int{3, 2, 2, 1}) {
+		t.Fatalf("desc lengths = %v", lens)
+	}
+}
+
+func TestPrepareItemOrderAsc(t *testing.T) {
+	// freq: 0 -> 3, 1 -> 1, 2 -> 2
+	db := dataset.FromInts([]int{0}, []int{0, 2}, []int{0, 1, 2})
+	p := Prepare(db, 1, Config{OrderAscFreq, OrderOriginal})
+	// rarest first: item 1 (freq 1) -> code 0, item 2 -> code 1, item 0 -> 2.
+	want := []itemset.Item{1, 2, 0}
+	if !reflect.DeepEqual(p.Decode, want) {
+		t.Fatalf("decode = %v, want %v", p.Decode, want)
+	}
+	// Transactions recoded and kept canonical.
+	if !p.DB.Trans[2].Equal(itemset.FromInts(0, 1, 2)) {
+		t.Fatalf("recoded transaction = %v", p.DB.Trans[2])
+	}
+	if !p.DB.Trans[1].Equal(itemset.FromInts(1, 2)) {
+		t.Fatalf("recoded transaction = %v", p.DB.Trans[1])
+	}
+}
+
+func TestPrepareItemOrderDesc(t *testing.T) {
+	db := dataset.FromInts([]int{0}, []int{0, 2}, []int{0, 1, 2})
+	p := Prepare(db, 1, Config{OrderDescFreq, OrderOriginal})
+	want := []itemset.Item{0, 2, 1}
+	if !reflect.DeepEqual(p.Decode, want) {
+		t.Fatalf("decode = %v, want %v", p.Decode, want)
+	}
+}
+
+func TestDecodeSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		db := randDB(rng, 15, 12, 0.35)
+		p := Prepare(db, 2, Config{OrderAscFreq, OrderSizeAsc})
+		for _, tr := range p.DB.Trans {
+			dec := p.DecodeSet(tr)
+			if !dec.IsCanonical() {
+				t.Fatalf("decoded set not canonical: %v", dec)
+			}
+			if len(dec) != len(tr) {
+				t.Fatalf("decode changed length")
+			}
+			// Every decoded transaction must be a subset of some original.
+			found := false
+			for _, orig := range db.Trans {
+				if dec.SubsetOf(orig) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("decoded transaction %v not a subset of any original", dec)
+			}
+		}
+	}
+}
+
+func TestPrepareMinSupportBelowOne(t *testing.T) {
+	db := paperDB()
+	a := Prepare(db, 0, Config{OrderKeep, OrderOriginal})
+	b := Prepare(db, 1, Config{OrderKeep, OrderOriginal})
+	if !reflect.DeepEqual(a.DB.Trans, b.DB.Trans) {
+		t.Fatal("minsup 0 should behave like 1")
+	}
+}
+
+func TestLexDescLess(t *testing.T) {
+	// With descending item listings: {d,c} vs {d,b}: d==d, then c>b so
+	// {d,b} < {d,c}.
+	a := itemset.FromInts(1, 3) // listed desc: 3,1
+	b := itemset.FromInts(2, 3) // listed desc: 3,2
+	if !lexDescLess(a, b) {
+		t.Error("{3,1} should come before {3,2}")
+	}
+	if lexDescLess(b, a) {
+		t.Error("comparison should be asymmetric")
+	}
+	if lexDescLess(a, a) {
+		t.Error("irreflexive")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{OrderDescFreq, OrderOriginal}
+	if c.String() != "items:desc-freq trans:original" {
+		t.Fatalf("Config.String() = %q", c.String())
+	}
+	if ItemOrder(9).String() != "items:9" || TransOrder(9).String() != "trans:9" {
+		t.Fatal("fallback order strings")
+	}
+}

@@ -1,0 +1,20 @@
+package sam
+
+import (
+	"repro/internal/engine"
+	"repro/internal/prep"
+	"repro/internal/result"
+)
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:    "sam",
+		Doc:     "split-and-merge over weighted transaction suffixes; closed output via subsumption filter (Borgelt & Wang)",
+		Targets: []engine.Target{engine.Closed, engine.All},
+		Prep:    prep.Config{Items: prep.OrderDescFreq, Trans: prep.OrderOriginal},
+		Order:   60,
+		Mine: func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
+			return minePrepared(pre, spec.MinSupport, spec.Target, spec.Control(), rep)
+		},
+	})
+}

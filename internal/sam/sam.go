@@ -17,27 +17,32 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/prep"
 	"repro/internal/result"
 )
 
 // Target selects what Mine reports.
-type Target int
+//
+// Deprecated: Target and its constants are aliases for the shared
+// engine.Target; the zero value is Closed (it used to be All).
+type Target = engine.Target
 
 const (
 	// All reports every frequent item set.
-	All Target = iota
+	All = engine.All
 	// Closed reports the closed frequent item sets.
-	Closed
+	Closed = engine.Closed
 )
 
 // Options configures the miner.
 type Options struct {
 	// MinSupport is the absolute minimum support; values < 1 act as 1.
 	MinSupport int
-	// Target selects all (default) or closed sets.
+	// Target selects closed (default) or all sets.
 	Target Target
 	// Done optionally cancels the run.
 	Done <-chan struct{}
@@ -65,8 +70,15 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 	}
 	// Descending frequency coding: SaM wants frequent items early so the
 	// split groups are large and merge lists shrink quickly.
-	prep := dataset.Prepare(db, minsup, dataset.OrderDescFreq, dataset.OrderOriginal)
-	pdb := prep.DB
+	pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderDescFreq, Trans: prep.OrderOriginal})
+	ctl := mining.Guarded(opts.Done, opts.Guard)
+	return minePrepared(pre, minsup, opts.Target, ctl, rep)
+}
+
+// minePrepared is the split-and-merge search on an already preprocessed
+// database.
+func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Control, rep result.Reporter) error {
+	pdb := pre.DB
 	if pdb.Items == 0 {
 		return nil
 	}
@@ -84,15 +96,15 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 
 	m := &samMiner{
 		minsup: minsup,
-		prep:   prep,
-		ctl:    mining.Guarded(opts.Done, opts.Guard),
+		pre:    pre,
+		ctl:    ctl,
 	}
-	switch opts.Target {
+	switch target {
 	case All:
 		m.out = func(items itemset.Set, supp int) {
-			rep.Report(prep.DecodeSet(items), supp)
+			rep.Report(pre.DecodeSet(items), supp)
 		}
-	case Closed:
+	default: // Closed
 		m.filter = result.NewSubsumeFilter()
 		m.out = func(items itemset.Set, supp int) {
 			m.filter.Add(items, supp)
@@ -108,7 +120,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 		m.filter.Emit(closed.Collect())
 		closed.Sort()
 		for _, p := range closed.Patterns {
-			rep.Report(prep.DecodeSet(p.Items), p.Support)
+			rep.Report(pre.DecodeSet(p.Items), p.Support)
 		}
 	}
 	return nil
@@ -116,7 +128,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 
 type samMiner struct {
 	minsup int
-	prep   *dataset.Prepared
+	pre    *prep.Prepared
 	ctl    *mining.Control
 	out    func(items itemset.Set, supp int)
 	filter *result.SubsumeFilter
@@ -129,6 +141,7 @@ func (m *samMiner) mine(list []wtrans, prefix itemset.Set) error {
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
+		m.ctl.CountOps(1) // one split-and-merge step
 		// Split: the group of transactions starting with the minimum item
 		// is the contiguous head of the sorted array.
 		item := list[0].items[0]

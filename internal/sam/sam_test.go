@@ -7,7 +7,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/itemset"
 	"repro/internal/mining"
-	"repro/internal/naive"
 	"repro/internal/result"
 )
 
@@ -56,28 +55,6 @@ func TestAllMatchesBruteForce(t *testing.T) {
 			}
 			if !got.Equal(want) {
 				t.Fatalf("SaM(all) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
-			}
-		}
-	}
-}
-
-func TestClosedMatchesOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(802))
-	for trial := 0; trial < 80; trial++ {
-		items := 2 + rng.Intn(8)
-		n := 1 + rng.Intn(12)
-		db := randDB(rng, items, n, 0.15+rng.Float64()*0.5)
-		for _, minsup := range []int{1, 2, 3} {
-			want, err := naive.ClosedByTransactionSubsets(db, minsup)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var got result.Set
-			if err := Mine(db, Options{MinSupport: minsup, Target: Closed}, got.Collect()); err != nil {
-				t.Fatal(err)
-			}
-			if !got.Equal(want) {
-				t.Fatalf("SaM(closed) mismatch (minsup=%d db=%v):\n%s", minsup, db.Trans, got.Diff(want, 10))
 			}
 		}
 	}

@@ -1,0 +1,65 @@
+package fim
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// algorithmPackages are the import paths only the engine layer (and the
+// bench harness, for its ablations) may depend on. The public API and
+// the command line tools go through the engine registry instead, so that
+// adding or removing a miner never touches them; register.go is the one
+// sanctioned linking point (blank imports only).
+var algorithmPackages = map[string]bool{
+	"repro/internal/apriori":   true,
+	"repro/internal/carpenter": true,
+	"repro/internal/cobbler":   true,
+	"repro/internal/core":      true,
+	"repro/internal/eclat":     true,
+	"repro/internal/fpgrowth":  true,
+	"repro/internal/lcm":       true,
+	"repro/internal/naive":     true,
+	"repro/internal/parallel":  true,
+	"repro/internal/sam":       true,
+}
+
+// TestNoDirectAlgorithmImports enforces the registry architecture:
+// fim.go and everything under cmd/ must not import algorithm packages
+// directly — dispatch goes through internal/engine. (incremental.go
+// carries the one deliberate exception, the core.Incremental re-export,
+// and register.go links the miners with blank imports.)
+func TestNoDirectAlgorithmImports(t *testing.T) {
+	files := []string{"fim.go"}
+	err := filepath.Walk("cmd", func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatal("lint found no cmd/ sources — wrong working directory?")
+	}
+	fset := token.NewFileSet()
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if algorithmPackages[ip] {
+				t.Errorf("%s imports %s directly; dispatch through the engine registry instead", path, ip)
+			}
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package fim
+
+// Link the built-in algorithm packages: each registers itself with the
+// engine from its init function, and internal/parallel attaches the
+// parallel engines. Adding a miner to the public API, the command line
+// tool, the bench harness, and the conformance suite is one new package
+// plus one blank import here.
+import (
+	_ "repro/internal/apriori"
+	_ "repro/internal/carpenter"
+	_ "repro/internal/cobbler"
+	_ "repro/internal/core"
+	_ "repro/internal/eclat"
+	_ "repro/internal/fpgrowth"
+	_ "repro/internal/lcm"
+	_ "repro/internal/naive"
+	_ "repro/internal/parallel"
+	_ "repro/internal/sam"
+)
