@@ -11,6 +11,13 @@
 // Output lines follow Borgelt's format: the items of the set separated by
 // spaces, followed by the absolute support in parentheses.
 //
+// With -snapshot-dir the transactions are fed through the crash-safe
+// incremental miner instead of the batch engine: every transaction is
+// write-ahead logged and periodically snapshotted into the directory,
+// and a rerun with -resume skips the transactions already durable there
+// and continues from the exact point a previous (possibly crashed) run
+// reached.
+//
 // Exit codes distinguish failure modes for scripting:
 //
 //	0  complete result written
@@ -18,12 +25,16 @@
 //	2  malformed input or bad flags — nothing mined
 //	3  deadline or budget exhausted — the output is a valid but
 //	   truncated prefix of the full result
+//	4  corrupt persistent state in -snapshot-dir — recovery refused
+//	   rather than silently dropping durable transactions
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -72,6 +83,10 @@ func main() {
 		maxNode = flag.Int("max-nodes", 0, "cap the miner's repository (prefix-tree nodes / stored sets, 0 = unlimited); on excess fim writes the prefix found so far and exits 3")
 		par     = flag.Int("p", 0, "parallel workers for the algorithms with a parallel engine (0 or 1 = sequential, -1 = all cores); the pattern set is identical to the sequential run")
 
+		snapDir   = flag.String("snapshot-dir", "", "mine through the crash-safe incremental miner, persisting state into this directory (closed target, ista only)")
+		resume    = flag.Bool("resume", false, "with -snapshot-dir: continue from the state recovered there, skipping the transactions it already holds")
+		snapEvery = flag.Int("snapshot-every", 0, "with -snapshot-dir: snapshot and rotate the log every n transactions (0 = 1024, negative = only at exit)")
+
 		expr      = flag.Bool("expr", false, "input is a gene expression matrix (CSV/TSV of log ratios), discretized per the paper's §4")
 		threshold = flag.Float64("threshold", 0.2, "with -expr: |log ratio| above this is over-/under-expressed")
 		orient    = flag.String("orient", "conditions", "with -expr: conditions | genes — what becomes the transactions")
@@ -106,6 +121,23 @@ func main() {
 	}
 	if *timeout < 0 || *maxPat < 0 || *maxNode < 0 {
 		failUsage(errors.New("-timeout, -max-patterns and -max-nodes must not be negative"))
+	}
+	if *snapDir != "" {
+		// The durable path is the online IsTa miner: the prefix tree is
+		// the state being checkpointed, so it cannot serve other
+		// algorithms or targets, and the guard/parallel knobs of the
+		// batch engine do not apply.
+		if tgt != fim.TargetClosed {
+			failUsage(errors.New("-snapshot-dir mines closed sets only"))
+		}
+		if name != fim.IsTa {
+			failUsage(fmt.Errorf("-snapshot-dir requires the ista algorithm, not %q", name))
+		}
+		if *par != 0 || *timeout != 0 || *maxPat != 0 || *maxNode != 0 {
+			failUsage(errors.New("-snapshot-dir cannot be combined with -p, -timeout, -max-patterns or -max-nodes"))
+		}
+	} else if *resume {
+		failUsage(errors.New("-resume requires -snapshot-dir"))
 	}
 
 	var db *fim.Database
@@ -143,43 +175,107 @@ func main() {
 	}
 
 	start := time.Now()
-	var set fim.ResultSet
-	err = fim.Mine(db, opts, set.Collect())
-	set.Sort()
-	patterns := &set
-	// A tripped deadline, budget, or cancellation still produced a valid
-	// prefix of the result; write it before exiting so callers can use
-	// what was found.
-	truncated := errors.Is(err, fim.ErrDeadline) || errors.Is(err, fim.ErrBudget) ||
-		errors.Is(err, fim.ErrCanceled)
-	if err != nil && !truncated {
-		fail(err)
+	var patterns *fim.ResultSet
+	truncated := false
+	if *snapDir != "" {
+		patterns = mineDurable(db, minsup, *snapDir, *snapEvery, *resume, *stats)
+	} else {
+		var set fim.ResultSet
+		err = fim.Mine(db, opts, set.Collect())
+		set.Sort()
+		patterns = &set
+		// A tripped deadline, budget, or cancellation still produced a
+		// valid prefix of the result; write it before exiting so callers
+		// can use what was found.
+		truncated = errors.Is(err, fim.ErrDeadline) || errors.Is(err, fim.ErrBudget) ||
+			errors.Is(err, fim.ErrCanceled)
+		if err != nil && !truncated {
+			fail(err)
+		}
 	}
 	elapsed := time.Since(start)
 
-	w := os.Stdout
+	// The result is only complete once the output is flushed and closed;
+	// both can fail (full disk, quota), so both are checked — a close
+	// error with the bytes already gone must not exit 0.
+	w := io.Writer(os.Stdout)
+	var closeOut func() error
 	if *out != "" {
 		f, cerr := os.Create(*out)
 		if cerr != nil {
 			fail(cerr)
 		}
-		defer f.Close()
-		w = f
+		bw := bufio.NewWriter(f)
+		w = bw
+		closeOut = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
 	}
 	if werr := patterns.Write(w, db.Names); werr != nil {
+		if closeOut != nil {
+			closeOut()
+		}
 		fail(werr)
 	}
+	if closeOut != nil {
+		if cerr := closeOut(); cerr != nil {
+			fail(cerr)
+		}
+	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "fim: %s\n", runStats.String())
+		if *snapDir == "" {
+			fmt.Fprintf(os.Stderr, "fim: %s\n", runStats.String())
+		}
 		fmt.Fprintf(os.Stderr, "fim: %d %s sets in %s\n", patterns.Len(), *target, elapsed.Round(time.Millisecond))
 	}
 	if truncated {
-		if w != os.Stdout {
-			w.Close() // the deferred close will not run past os.Exit
-		}
 		fmt.Fprintf(os.Stderr, "fim: truncated: %v (%d patterns written)\n", err, patterns.Len())
 		os.Exit(3)
 	}
+}
+
+// mineDurable feeds the database through the crash-safe incremental
+// miner backed by dir, resuming past the transactions already durable
+// there, and returns the closed sets at minsup. Corrupt persistent
+// state exits 4; a prior state without -resume exits 2 so a stale
+// directory is never extended by accident.
+func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, stats bool) *fim.ResultSet {
+	dm, err := fim.OpenDurable(dir, fim.DurableOptions{Items: db.Items, SnapshotEvery: every})
+	if err != nil {
+		if errors.Is(err, fim.ErrCorrupt) {
+			failCorrupt(err)
+		}
+		fail(err)
+	}
+	done := dm.Transactions()
+	switch {
+	case done > 0 && !resume:
+		failUsage(fmt.Errorf("%s already holds %d transactions; pass -resume to continue or point -snapshot-dir at a fresh directory", dir, done))
+	case done > len(db.Trans):
+		failUsage(fmt.Errorf("%s holds %d transactions but the database has only %d — wrong directory for this input", dir, done, len(db.Trans)))
+	}
+	if stats && done > 0 {
+		fmt.Fprintf(os.Stderr, "fim: resuming at transaction %d of %d\n", done+1, len(db.Trans))
+	}
+	for _, tr := range db.Trans[done:] {
+		if err := dm.AddSet(tr); err != nil {
+			fail(err)
+		}
+	}
+	// Leave a snapshot at the final state so the next open replays
+	// nothing.
+	if err := dm.Snapshot(); err != nil {
+		fail(err)
+	}
+	patterns := dm.ClosedSet(minsup)
+	if err := dm.Close(); err != nil {
+		fail(err)
+	}
+	return patterns
 }
 
 // algorithmInfo finds the registry entry for name, so a typo fails fast
@@ -237,4 +333,12 @@ func fail(err error) {
 func failUsage(err error) {
 	fmt.Fprintln(os.Stderr, "fim:", err)
 	os.Exit(2)
+}
+
+// failCorrupt reports unrecoverable persistent state (exit 4): the
+// snapshot directory holds damage that would silently lose durable
+// transactions, so mining refused to proceed.
+func failCorrupt(err error) {
+	fmt.Fprintln(os.Stderr, "fim:", err)
+	os.Exit(4)
 }

@@ -31,6 +31,21 @@ func NewIncremental(items int) *Incremental {
 	return &Incremental{tree: NewTree(items), items: items}
 }
 
+// RestoreIncremental wraps a rebuilt prefix tree (see TreeBuilder) as an
+// online miner, resuming the cumulative intersection at the tree's step
+// counter. internal/persist uses it to reconstruct a miner from a
+// snapshot.
+func RestoreIncremental(t *Tree) *Incremental {
+	return &Incremental{tree: t, items: t.Items()}
+}
+
+// Items returns the size of the item universe.
+func (m *Incremental) Items() int { return m.items }
+
+// Tree exposes the underlying repository for persistence export; the
+// tree must not be mutated except through the miner.
+func (m *Incremental) Tree() *Tree { return m.tree }
+
 // Add processes one transaction. The items may be in any order; they are
 // canonicalized. Items outside the universe are rejected.
 func (m *Incremental) Add(items ...itemset.Item) error {

@@ -1,0 +1,122 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// Shared low-level framing helpers: CRC-accumulating reader/writer
+// wrappers and bounded reads that never allocate more than the input
+// actually provides (a declared length is only trusted up to the bytes
+// that exist, so corrupt or adversarial headers cannot trigger huge
+// allocations).
+
+// crcWriter forwards writes and accumulates a CRC-32 (IEEE) over them.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// crcReader reads from a buffered reader and accumulates a CRC-32
+// (IEEE) over every byte it hands out. It implements io.ByteReader so
+// binary.ReadUvarint can consume it directly.
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+	one [1]byte
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	c.one[0] = b
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, c.one[:])
+	return b, nil
+}
+
+// readUvarint is binary.ReadUvarint with the overflow case reported as
+// corruption (overlong varints cannot be written by our encoders, so
+// they are damage, not I/O); read errors pass through untouched.
+func readUvarint(r io.ByteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, corruptf("persist: uvarint overflows 64 bits")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, corruptf("persist: uvarint overflows 64 bits")
+}
+
+// isTruncation reports whether err is a clean end-of-input — the
+// signature of a torn (partially written) tail rather than flipped bits.
+func isTruncation(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// readChunked reads exactly n bytes from r, growing the buffer in
+// bounded chunks so a corrupt length prefix cannot force an allocation
+// larger than the input that is actually present (plus one chunk).
+func readChunked(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 64 << 10
+	buf := make([]byte, 0, min64(n, chunk))
+	for uint64(len(buf)) < n {
+		k := min64(n-uint64(len(buf)), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// readTrailer reads the 4-byte little-endian CRC trailer that follows a
+// checksummed region (the trailer itself is not part of the checksum).
+func readTrailer(r *bufio.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func appendTrailer(buf []byte, crc uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
+
+// crc32Of is the CRC-32 (IEEE) of b.
+func crc32Of(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

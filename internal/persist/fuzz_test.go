@@ -1,0 +1,132 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// segmentBytes builds a valid WAL segment in memory, mirroring
+// createWAL + Append, for use as fuzz seed material.
+func segmentBytes(items int, base uint64, recs []itemset.Set) []byte {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, walMagic...)
+	buf = binary.AppendUvarint(buf, walVersion)
+	buf = binary.AppendUvarint(buf, uint64(items))
+	buf = binary.AppendUvarint(buf, base)
+	buf = appendTrailer(buf, crc32Of(buf))
+	for _, t := range recs {
+		payload := binary.AppendUvarint(nil, uint64(len(t)))
+		for i, it := range t {
+			if i == 0 {
+				payload = binary.AppendUvarint(payload, uint64(it))
+			} else {
+				payload = binary.AppendUvarint(payload, uint64(it-t[i-1]))
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		buf = append(buf, payload...)
+		buf = appendTrailer(buf, crc32Of(payload))
+	}
+	return buf
+}
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot decoder: it
+// must return a miner or an error wrapping ErrCorrupt — never panic,
+// and never allocate unboundedly from declared counts (allocation is
+// driven by the bytes actually present). An accepted input must
+// re-encode into bytes that decode back to the identical mining state.
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, n := range []int{0, 1, 12} {
+		m := miner(f, 8, stream(8, n, int64(n)))
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		raw := buf.Bytes()
+		f.Add(raw)
+		if len(raw) > 10 {
+			mut := append([]byte(nil), raw...)
+			mut[10] ^= 0xff
+			f.Add(mut)
+			f.Add(raw[:len(raw)/2])
+		}
+	}
+	f.Add([]byte(snapMagic))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<16 {
+			return
+		}
+		m, err := ReadSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			if !errorsIsCorrupt(err) {
+				t.Fatalf("decode error not typed: %v", err)
+			}
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteSnapshot(&out, m); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		m2, err := ReadSnapshot(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if m2.Transactions() != m.Transactions() || m2.NodeCount() != m.NodeCount() || m2.Items() != m.Items() {
+			t.Fatalf("re-encode changed state: %d/%d trans, %d/%d nodes, %d/%d items",
+				m2.Transactions(), m.Transactions(), m2.NodeCount(), m.NodeCount(), m2.Items(), m.Items())
+		}
+		if !m2.ClosedSet(1).Equal(m.ClosedSet(1)) {
+			t.Fatal("re-encode changed the closed sets")
+		}
+	})
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the WAL segment reader: it
+// must classify them as records + clean end, records + torn tail, or
+// typed corruption — never panic, never deliver a record that is
+// non-canonical or outside the declared universe.
+func FuzzWALReplay(f *testing.F) {
+	raw := segmentBytes(10, 3, stream(10, 8, 42))
+	f.Add(raw)
+	f.Add(raw[:len(raw)/3])
+	if len(raw) > 20 {
+		mut := append([]byte(nil), raw...)
+		mut[20] ^= 0x40
+		f.Add(mut)
+	}
+	f.Add(segmentBytes(5, 0, []itemset.Set{{}}))
+	f.Add([]byte(walMagic))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<16 {
+			return
+		}
+		hdr, recs, torn, err := readWAL(bytes.NewReader(raw))
+		if err != nil {
+			if !errorsIsCorrupt(err) {
+				t.Fatalf("read error not typed: %v", err)
+			}
+			return
+		}
+		if !hdr.ok {
+			if len(recs) != 0 {
+				t.Fatal("records delivered without a header")
+			}
+			return
+		}
+		if hdr.items > MaxItems {
+			t.Fatalf("accepted universe %d beyond cap", hdr.items)
+		}
+		for i, r := range recs {
+			if !r.IsCanonical() {
+				t.Fatalf("record %d not canonical: %v", i, r)
+			}
+			if len(r) > 0 && uint64(r[len(r)-1]) >= hdr.items {
+				t.Fatalf("record %d outside universe [0,%d): %v", i, hdr.items, r)
+			}
+		}
+		_ = torn
+	})
+}

@@ -1,0 +1,126 @@
+// Package persist makes the IsTa mining state durable. The cumulative
+// intersection scheme (§3.2 of the paper) keeps the closed item sets of
+// every transaction processed so far in one prefix tree, which makes the
+// online miner uniquely checkpointable: the tree, the item universe and
+// the step counter are the *complete* state, and persisting them resumes
+// mining exactly where it stopped.
+//
+// The package provides three layers:
+//
+//   - a versioned, CRC-32-checked binary snapshot codec for
+//     core.Incremental (WriteSnapshot / ReadSnapshot), written to disk
+//     atomically via temp file + fsync + rename;
+//   - an append-only transaction write-ahead log with length-prefixed,
+//     per-record checksummed framing, whose reader discards a torn final
+//     record instead of failing;
+//   - Durable, a crash-safe online miner combining both: every Add is
+//     logged (and synced) before it is applied, periodic snapshots bound
+//     the replay tail and rotate the log, and Open recovers by loading
+//     the last good snapshot and replaying the log tail.
+//
+// The recovery invariant, enforced by the conformance suite in the
+// repository root: after a crash at any write/sync/rename boundary,
+// Open either restores exactly the durable prefix of the transaction
+// stream — never silently dropping an acknowledged transaction — or
+// fails with an error wrapping ErrCorrupt. It never panics on corrupt
+// or truncated input.
+//
+// All I/O goes through the FS seam so internal/faultinject can inject
+// errors, short writes and crashes at every boundary.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt is wrapped by every error that reports unreadable or
+// inconsistent persistent state: a bad magic number or version, a
+// checksum mismatch, a structurally invalid node or record stream, or a
+// gap in the write-ahead log. Match with errors.Is. A torn final WAL
+// record is not corruption — it is the expected trace of a crash during
+// an append and is discarded silently.
+var ErrCorrupt = errors.New("persist: corrupt state")
+
+// corruptf builds an error wrapping ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}
+
+// FS is the file system seam all persistence I/O goes through. The
+// default implementation is the real file system (OS); the
+// fault-injection harness wraps it to fail or truncate the Nth
+// operation.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the file names in dir (directories excluded).
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// within it durable.
+	SyncDir(dir string) error
+}
+
+// File is a writable file with explicit durability control.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// OS is the real file system.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// join is filepath.Join, aliased so the package reads uniformly.
+func join(dir, name string) string { return filepath.Join(dir, name) }
