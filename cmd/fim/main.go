@@ -9,7 +9,13 @@
 //	fim -target all -support 10 -out out.txt data.dat
 //
 // Output lines follow Borgelt's format: the items of the set separated by
-// spaces, followed by the absolute support in parentheses.
+// spaces, followed by the absolute support in parentheses. A database
+// argument of "-" reads the database from standard input.
+//
+// -progress prints rate-limited progress snapshots (elapsed time,
+// patterns, operations, repository size) to stderr while mining;
+// -debug-addr serves expvar counters on /debug/vars and the pprof
+// profiles on /debug/pprof/ for the lifetime of the process.
 //
 // With -snapshot-dir the transactions are fed through the crash-safe
 // incremental miner instead of the batch engine: every transaction is
@@ -36,6 +42,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -debug-addr serves /debug/pprof/
 	"os"
 	"strings"
 	"time"
@@ -82,6 +91,9 @@ func main() {
 		maxPat  = flag.Int("max-patterns", 0, "stop after this many patterns (0 = unlimited); the truncated output is written and fim exits 3")
 		maxNode = flag.Int("max-nodes", 0, "cap the miner's repository (prefix-tree nodes / stored sets, 0 = unlimited); on excess fim writes the prefix found so far and exits 3")
 		par     = flag.Int("p", 0, "parallel workers for the algorithms with a parallel engine (0 or 1 = sequential, -1 = all cores); the pattern set is identical to the sequential run")
+
+		progress  = flag.Bool("progress", false, "print rate-limited progress snapshots to stderr while mining")
+		debugAddr = flag.String("debug-addr", "", "serve debug endpoints (expvar on /debug/vars, pprof on /debug/pprof/) on this address for the process lifetime")
 
 		snapDir   = flag.String("snapshot-dir", "", "mine through the crash-safe incremental miner, persisting state into this directory (closed target, ista only)")
 		resume    = flag.Bool("resume", false, "with -snapshot-dir: continue from the state recovered there, skipping the transactions it already holds")
@@ -140,11 +152,27 @@ func main() {
 		failUsage(errors.New("-resume requires -snapshot-dir"))
 	}
 
+	// Start the debug server before the input is read, so the endpoints
+	// are reachable while fim blocks on a slow reader (e.g. stdin). The
+	// expvar import (via the fim package) and the pprof import above hook
+	// the default mux, which is all http.Serve(ln, nil) needs.
+	if *debugAddr != "" {
+		ln, lerr := net.Listen("tcp", *debugAddr)
+		if lerr != nil {
+			fail(lerr)
+		}
+		fmt.Fprintf(os.Stderr, "fim: debug server listening on http://%s/debug/vars\n", ln.Addr())
+		go http.Serve(ln, nil)
+	}
+
 	var db *fim.Database
 	var err error
-	if *expr {
+	switch {
+	case *expr:
 		db, err = loadExpression(flag.Arg(0), *threshold, *orient)
-	} else {
+	case flag.Arg(0) == "-":
+		db, err = fim.Read(os.Stdin)
+	default:
 		db, err = fim.ReadFile(flag.Arg(0))
 	}
 	if err != nil {
@@ -173,12 +201,16 @@ func main() {
 	if *stats {
 		opts.Stats = &runStats
 	}
+	if *progress {
+		opts.OnProgress = printProgress
+	}
+	opts.PublishExpvar = *debugAddr != ""
 
 	start := time.Now()
 	var patterns *fim.ResultSet
 	truncated := false
 	if *snapDir != "" {
-		patterns = mineDurable(db, minsup, *snapDir, *snapEvery, *resume, *stats)
+		patterns = mineDurable(db, minsup, *snapDir, *snapEvery, *resume, *progress, &runStats)
 	} else {
 		var set fim.ResultSet
 		err = fim.Mine(db, opts, set.Collect())
@@ -227,9 +259,7 @@ func main() {
 		}
 	}
 	if *stats {
-		if *snapDir == "" {
-			fmt.Fprintf(os.Stderr, "fim: %s\n", runStats.String())
-		}
+		fmt.Fprintf(os.Stderr, "fim: %s\n", runStats.String())
 		fmt.Fprintf(os.Stderr, "fim: %d %s sets in %s\n", patterns.Len(), *target, elapsed.Round(time.Millisecond))
 	}
 	if truncated {
@@ -238,12 +268,26 @@ func main() {
 	}
 }
 
+// printProgress renders one progress snapshot as a stderr line; it is
+// the -progress callback for both the batch and the durable path.
+func printProgress(p fim.ProgressEvent) {
+	final := ""
+	if p.Final {
+		final = " final"
+	}
+	fmt.Fprintf(os.Stderr, "fim: progress elapsed=%s patterns=%d ops=%d checks=%d nodes=%d%s\n",
+		p.Elapsed.Round(time.Millisecond), p.Patterns, p.Ops, p.Checks, p.Nodes, final)
+}
+
 // mineDurable feeds the database through the crash-safe incremental
 // miner backed by dir, resuming past the transactions already durable
-// there, and returns the closed sets at minsup. Corrupt persistent
-// state exits 4; a prior state without -resume exits 2 so a stale
-// directory is never extended by accident.
-func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, stats bool) *fim.ResultSet {
+// there, and returns the closed sets at minsup; st receives the
+// durable-path run counters (replayed and added transactions, snapshot
+// writes, repository peak). Corrupt persistent state exits 4; a prior
+// state without -resume exits 2 so a stale directory is never extended
+// by accident.
+func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, progress bool, st *fim.MiningStats) *fim.ResultSet {
+	start := time.Now()
 	dm, err := fim.OpenDurable(dir, fim.DurableOptions{Items: db.Items, SnapshotEvery: every})
 	if err != nil {
 		if errors.Is(err, fim.ErrCorrupt) {
@@ -258,12 +302,18 @@ func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, st
 	case done > len(db.Trans):
 		failUsage(fmt.Errorf("%s holds %d transactions but the database has only %d — wrong directory for this input", dir, done, len(db.Trans)))
 	}
-	if stats && done > 0 {
+	if done > 0 {
 		fmt.Fprintf(os.Stderr, "fim: resuming at transaction %d of %d\n", done+1, len(db.Trans))
 	}
-	for _, tr := range db.Trans[done:] {
+	lastProgress := start
+	for i, tr := range db.Trans[done:] {
 		if err := dm.AddSet(tr); err != nil {
 			fail(err)
+		}
+		if progress && time.Since(lastProgress) >= 200*time.Millisecond {
+			lastProgress = time.Now()
+			fmt.Fprintf(os.Stderr, "fim: progress elapsed=%s added=%d/%d nodes=%d\n",
+				time.Since(start).Round(time.Millisecond), done+i+1, len(db.Trans), dm.NodeCount())
 		}
 	}
 	// Leave a snapshot at the final state so the next open replays
@@ -272,6 +322,21 @@ func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, st
 		fail(err)
 	}
 	patterns := dm.ClosedSet(minsup)
+	*st = fim.MiningStats{
+		Algorithm:           string(fim.IsTa),
+		Target:              fim.TargetClosed,
+		MinSupport:          minsup,
+		Transactions:        len(db.Trans),
+		Items:               db.Items,
+		PreppedTransactions: dm.Transactions(),
+		PreppedItems:        dm.Items(),
+		Patterns:            int64(patterns.Len()),
+		NodesPeak:           int64(dm.NodeCount()),
+		MineTime:            time.Since(start),
+		Replayed:            done,
+		Added:               len(db.Trans) - done,
+		Snapshots:           dm.Snapshots(),
+	}
 	if err := dm.Close(); err != nil {
 		fail(err)
 	}

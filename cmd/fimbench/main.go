@@ -11,11 +11,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/bench"
 )
+
+// errWriter forwards to an underlying writer and latches the first write
+// error, so a report cut short (full disk, closed pipe) turns into a
+// non-zero exit instead of a silently truncated table.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil // swallow the rest; the first error decides
+	}
+	if _, err := e.w.Write(p); err != nil {
+		e.err = err
+	}
+	return len(p), nil
+}
 
 func main() {
 	var (
@@ -26,26 +45,29 @@ func main() {
 		seed    = flag.Int64("seed", 0, "workload seed (0 = experiment default)")
 		timeout = flag.Duration("timeout", 0, "per-run timeout (0 = experiment default)")
 		par     = flag.Int("p", 0, "worker count for the par experiment (0 = measure 2/4/8)")
+		jsonDir = flag.String("json", "", "additionally write each experiment's measurements as BENCH_<id>.json into this directory")
 	)
 	flag.Parse()
+	out := &errWriter{w: os.Stdout}
 
 	if *list {
 		for _, e := range bench.Registry() {
-			fmt.Printf("%-8s  %s\n          paper: %s\n", e.ID, e.Title, e.Notes)
+			fmt.Fprintf(out, "%-8s  %s\n          paper: %s\n", e.ID, e.Title, e.Notes)
 		}
+		finish(out)
 		return
 	}
 
-	cfg := bench.Config{Scale: *scale, Seed: *seed, Timeout: *timeout, Parallelism: *par}
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Timeout: *timeout, Parallelism: *par, JSONDir: *jsonDir}
 	run := func(e bench.Experiment) {
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		fmt.Printf("paper's reported shape: %s\n\n", e.Notes)
+		fmt.Fprintf(out, "=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(out, "paper's reported shape: %s\n\n", e.Notes)
 		start := time.Now()
-		if err := e.Run(cfg, os.Stdout); err != nil {
+		if err := e.Run(cfg, out); err != nil {
 			fmt.Fprintf(os.Stderr, "fimbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s took %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "(%s took %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 
 	switch {
@@ -63,5 +85,14 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	finish(out)
+}
+
+// finish fails the process if any output write was lost.
+func finish(out *errWriter) {
+	if out.err != nil {
+		fmt.Fprintln(os.Stderr, "fimbench:", out.err)
+		os.Exit(1)
 	}
 }

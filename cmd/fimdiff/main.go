@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -28,13 +29,28 @@ func main() {
 	}
 	a := load(flag.Arg(0))
 	b := load(flag.Arg(1))
+	// The report goes through a checked writer: a verdict that never
+	// reached the caller (full disk, closed pipe) must not exit as if it
+	// had been delivered.
+	w := bufio.NewWriter(os.Stdout)
 	if a.Equal(b) {
-		fmt.Printf("identical: %d patterns\n", a.Len())
+		fmt.Fprintf(w, "identical: %d patterns\n", a.Len())
+		flushOrDie(w)
 		return
 	}
-	fmt.Printf("results differ (A=%s, B=%s):\n", flag.Arg(0), flag.Arg(1))
-	fmt.Println(a.Diff(b, *max))
+	fmt.Fprintf(w, "results differ (A=%s, B=%s):\n", flag.Arg(0), flag.Arg(1))
+	fmt.Fprintln(w, a.Diff(b, *max))
+	flushOrDie(w)
 	os.Exit(1)
+}
+
+// flushOrDie flushes the report; a write failure is a usage-level error
+// (exit 2), distinct from exit 1, which means "the results differ".
+func flushOrDie(w *bufio.Writer) {
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "fimdiff:", err)
+		os.Exit(2)
+	}
 }
 
 func load(path string) *result.Set {

@@ -1,6 +1,9 @@
 package fim
 
 import (
+	"io"
+
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
@@ -26,6 +29,11 @@ type DurableOptions struct {
 	// append, so every acknowledged Add survives a crash. Larger values
 	// trade durability of the last n-1 transactions for throughput.
 	SyncEvery int
+	// TraceWriter, when non-nil, receives one JSON line per maintenance
+	// phase of the store: recovery on open, every snapshot write, and
+	// every log rotation, each with its duration and the prefix-tree node
+	// count (see DESIGN.md §5e for the schema). Nil costs nothing.
+	TraceWriter io.Writer
 }
 
 // DurableMiner is a crash-safe IncrementalMiner: every Add is logged to
@@ -43,10 +51,15 @@ type DurableMiner struct {
 // record. Damage that would lose durable transactions fails with an
 // error wrapping ErrCorrupt.
 func OpenDurable(dir string, opts DurableOptions) (*DurableMiner, error) {
+	var sink obs.Sink
+	if opts.TraceWriter != nil {
+		sink = obs.NewJSONSink(opts.TraceWriter)
+	}
 	d, err := persist.Open(dir, persist.Options{
 		Items:         opts.Items,
 		SnapshotEvery: opts.SnapshotEvery,
 		SyncEvery:     opts.SyncEvery,
+		Obs:           sink,
 	})
 	if err != nil {
 		return nil, err
@@ -82,6 +95,10 @@ func (m *DurableMiner) Items() int { return m.d.Items() }
 
 // NodeCount returns the current prefix tree size.
 func (m *DurableMiner) NodeCount() int { return m.d.NodeCount() }
+
+// Snapshots returns the number of snapshots (each with its log rotation)
+// this handle has written; recovery on open does not count.
+func (m *DurableMiner) Snapshots() int { return m.d.Snapshots() }
 
 // Closed reports the closed item sets of the transactions added so far
 // whose support reaches minSupport. Queries stay available even after a

@@ -34,6 +34,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/result"
 	"repro/internal/rules"
 )
@@ -108,6 +109,17 @@ const (
 // MiningStats carries per-run observability: pattern counts, operation
 // and budget-check counters, repository peak size, and prep/mine timings.
 type MiningStats = engine.Stats
+
+// ProgressEvent is one rate-limited progress snapshot of a running mine:
+// the elapsed wall clock and the counters at the moment of the snapshot.
+// Snapshots are monotone (each counter is ≥ its value in the previous
+// event of the run) and the final event — marked Final — agrees exactly
+// with the run's MiningStats. See DESIGN.md §5e.
+type ProgressEvent = obs.Progress
+
+// SpanEvent is one completed run phase (prep, mine, merge, …) with its
+// duration and the counter values at its end. See DESIGN.md §5e.
+type SpanEvent = obs.Span
 
 // AlgorithmInfo describes one registered algorithm.
 type AlgorithmInfo struct {
@@ -212,6 +224,26 @@ type Options struct {
 	// deterministic order (see internal/parallel). Other algorithms
 	// ignore the field and always run sequentially.
 	Parallelism int
+	// OnProgress, when non-nil, receives rate-limited progress snapshots
+	// of the run, including a terminal one with Final set that is
+	// delivered before Mine returns (even on cancellation) and agrees
+	// exactly with Stats. The callback runs on mining goroutines and must
+	// be fast; it must not call back into Mine. Snapshots are fed from
+	// the amortized budget-check slow path, so a run without OnProgress,
+	// TraceWriter and PublishExpvar pays nothing.
+	OnProgress func(ProgressEvent)
+	// ProgressInterval is the minimum interval between OnProgress
+	// snapshots (the Final one excepted); 0 uses a 200ms default.
+	ProgressInterval time.Duration
+	// TraceWriter, when non-nil, receives one JSON line per observability
+	// event: a span per completed run phase (prep, mine, merge) and every
+	// progress snapshot. See DESIGN.md §5e for the schema.
+	TraceWriter io.Writer
+	// PublishExpvar, when true, publishes the run's counters and phase
+	// timings into the process-wide expvar map "fim" (exposed on
+	// /debug/vars by net/http's default mux). Later runs overwrite the
+	// latest-value metrics and accumulate the per-phase ones.
+	PublishExpvar bool
 }
 
 // Mine streams the closed frequent item sets of db into rep using the
@@ -313,13 +345,31 @@ func mine(db *Database, opts Options, g *guard.Guard, done <-chan struct{}, rep 
 		name = string(IsTa)
 	}
 	return engine.Run(db, name, engine.Spec{
-		MinSupport: opts.MinSupport,
-		Target:     opts.Target,
-		Workers:    opts.Parallelism,
-		Done:       done,
-		Guard:      g,
-		Stats:      opts.Stats,
+		MinSupport:    opts.MinSupport,
+		Target:        opts.Target,
+		Workers:       opts.Parallelism,
+		Done:          done,
+		Guard:         g,
+		Stats:         opts.Stats,
+		Sink:          sinkOf(opts),
+		ProgressEvery: opts.ProgressInterval,
 	}, rep)
+}
+
+// sinkOf assembles the run's observability sink from the Options surface;
+// nil — the atomic-free fast path — when no surface is requested.
+func sinkOf(opts Options) obs.Sink {
+	var sinks []obs.Sink
+	if opts.TraceWriter != nil {
+		sinks = append(sinks, obs.NewJSONSink(opts.TraceWriter))
+	}
+	if opts.OnProgress != nil {
+		sinks = append(sinks, obs.ProgressSink(opts.OnProgress))
+	}
+	if opts.PublishExpvar {
+		sinks = append(sinks, obs.NewExpvarSink(""))
+	}
+	return obs.Multi(sinks...)
 }
 
 // MineClosed mines the closed frequent item sets of db with IsTa and

@@ -35,16 +35,18 @@ import (
 type Algo struct {
 	// Name is the short column label ("ista", "carp-table", ...).
 	Name string
-	// Run mines db at minsup, reporting into rep; done cancels.
-	Run func(db *dataset.Database, minsup int, done <-chan struct{}, rep result.Reporter) error
+	// Run mines db at minsup, reporting into rep; done cancels. st, when
+	// non-nil, receives the run's counters and phase timings; algorithms
+	// that bypass the engine (the ablation variants) may leave it empty.
+	Run func(db *dataset.Database, minsup int, done <-chan struct{}, st *engine.Stats, rep result.Reporter) error
 }
 
 // engineAlgo adapts a registered miner to a bench Algo under the given
 // column label. workers selects the engine: 1 forces the sequential
 // miner, >= 2 the parallel engine where one is registered.
 func engineAlgo(label, regName string, workers int) Algo {
-	return Algo{label, func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
-		return engine.Run(db, regName, engine.Spec{MinSupport: ms, Workers: workers, Done: done}, rep)
+	return Algo{label, func(db *dataset.Database, ms int, done <-chan struct{}, st *engine.Stats, rep result.Reporter) error {
+		return engine.Run(db, regName, engine.Spec{MinSupport: ms, Workers: workers, Done: done, Stats: st}, rep)
 	}}
 }
 
@@ -64,16 +66,16 @@ func Algorithms() map[string]Algo {
 		engineAlgo("cobbler", "cobbler", 1),
 		engineAlgo("sam", "sam", 1),
 		engineAlgo("flat", "flat", 1),
-		{"ista-noprune", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+		{"ista-noprune", func(db *dataset.Database, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
 			return core.Mine(db, core.Options{MinSupport: ms, Done: done, DisablePruning: true}, rep)
 		}},
-		{"carp-table-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+		{"carp-table-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
 			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, DisableElimination: true, Done: done}, rep)
 		}},
-		{"carp-lists-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+		{"carp-lists-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
 			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Lists, DisableElimination: true, Done: done}, rep)
 		}},
-		{"carp-table-hash", func(db *dataset.Database, ms int, done <-chan struct{}, rep result.Reporter) error {
+		{"carp-table-hash", func(db *dataset.Database, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
 			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, HashRepository: true, Done: done}, rep)
 		}},
 	}
@@ -98,6 +100,13 @@ type Cell struct {
 	TimedOut bool
 	Skipped  bool // earlier timeout at a higher support level
 	Err      error
+
+	// Per-phase split and work counters of the run (from engine.Stats;
+	// zero for the ablation variants, which bypass the engine).
+	PrepTime  time.Duration
+	MineTime  time.Duration
+	Ops       int64
+	NodesPeak int64
 }
 
 // Row is one support level of a sweep.
@@ -117,13 +126,18 @@ func RunOne(a Algo, db *dataset.Database, minsup int, timeout time.Duration) Cel
 		timer = time.AfterFunc(timeout, func() { close(done) })
 	}
 	var counter result.Counter
+	var st engine.Stats
 	start := time.Now()
-	err := a.Run(db, minsup, done, &counter)
+	err := a.Run(db, minsup, done, &st, &counter)
 	elapsed := time.Since(start)
 	if timer != nil {
 		timer.Stop()
 	}
-	cell := Cell{Time: elapsed, Closed: counter.N}
+	cell := Cell{
+		Time: elapsed, Closed: counter.N,
+		PrepTime: st.PrepTime, MineTime: st.MineTime,
+		Ops: st.Ops, NodesPeak: st.NodesPeak,
+	}
 	switch {
 	case err == mining.ErrCanceled:
 		cell.TimedOut = true

@@ -24,6 +24,24 @@ type Config struct {
 	// Parallelism, when >= 2, makes the par experiment measure exactly
 	// that worker count instead of the default 2/4/8 ladder.
 	Parallelism int
+	// JSONDir, when non-empty, additionally writes each experiment's
+	// measurements (including the per-phase prep/mine split and work
+	// counters) as BENCH_<id>.json into this directory.
+	JSONDir string
+}
+
+// writeJSON writes the experiment's measurements to Config.JSONDir (a
+// no-op when unset) and notes the file in the report.
+func (c Config) writeJSON(w io.Writer, id, workload string, algos []string, rows []Row) error {
+	if c.JSONDir == "" {
+		return nil
+	}
+	path, err := WriteBenchJSON(c.JSONDir, id, workload, algos, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n\n", path)
+	return nil
 }
 
 // parWorkers returns the worker counts the par experiment measures.
@@ -153,13 +171,16 @@ func Get(id string) (Experiment, bool) {
 }
 
 // sweep is the shared driver for figure-style experiments.
-func sweep(w io.Writer, title string, db *dataset.Database, supports []int, algos []string, timeout time.Duration) error {
+func sweep(w io.Writer, cfg Config, id, title string, db *dataset.Database, supports []int, algos []string, timeout time.Duration) error {
 	rows, err := Sweep(db, supports, algos, timeout)
 	if err != nil {
 		return err
 	}
 	WriteTable(w, title, db.Stats(), algos, rows)
 	WriteLogSeries(w, algos, rows)
+	if err := cfg.writeJSON(w, id, db.Stats().String(), algos, rows); err != nil {
+		return err
+	}
 	report := func(a, b string) {
 		ms, f, ok := Speedup(rows, a, b)
 		if !ok {
@@ -183,25 +204,25 @@ var figureAlgos = []string{"ista", "carp-table", "carp-lists", "fpclose", "lcm"}
 func runFig5(cfg Config, w io.Writer) error {
 	db := gendata.Yeast(cfg.scale(0.15), cfg.seed(1))
 	supports := []int{24, 22, 20, 18, 16, 14, 12, 10, 9, 8}
-	return sweep(w, "Figure 5 (yeast-like)", db, supports, figureAlgos, cfg.timeout(20*time.Second))
+	return sweep(w, cfg, "fig5", "Figure 5 (yeast-like)", db, supports, figureAlgos, cfg.timeout(20*time.Second))
 }
 
 func runFig6(cfg Config, w io.Writer) error {
 	db := gendata.NCBI60(cfg.scale(0.20), cfg.seed(2))
 	supports := []int{54, 53, 52, 51, 50, 49, 48, 47, 46}
-	return sweep(w, "Figure 6 (NCBI60-like)", db, supports, figureAlgos, cfg.timeout(20*time.Second))
+	return sweep(w, cfg, "fig6", "Figure 6 (NCBI60-like)", db, supports, figureAlgos, cfg.timeout(20*time.Second))
 }
 
 func runFig7(cfg Config, w io.Writer) error {
 	db := gendata.Thrombin(cfg.scale(0.02), cfg.seed(3))
 	supports := []int{40, 38, 36, 34, 32, 30, 28, 26}
-	return sweep(w, "Figure 7 (thrombin-like)", db, supports, figureAlgos, cfg.timeout(20*time.Second))
+	return sweep(w, cfg, "fig7", "Figure 7 (thrombin-like)", db, supports, figureAlgos, cfg.timeout(20*time.Second))
 }
 
 func runFig8(cfg Config, w io.Writer) error {
 	db := gendata.WebView(cfg.scale(0.30), cfg.seed(4))
 	supports := []int{20, 18, 16, 14, 12, 10, 8, 7, 6, 5}
-	return sweep(w, "Figure 8 (transposed webview-like)", db, supports, figureAlgos, cfg.timeout(20*time.Second))
+	return sweep(w, cfg, "fig8", "Figure 8 (transposed webview-like)", db, supports, figureAlgos, cfg.timeout(20*time.Second))
 }
 
 func runFlat(cfg Config, w io.Writer) error {
@@ -216,7 +237,7 @@ func runFlat(cfg Config, w io.Writer) error {
 	if ms, f, ok := Speedup(rows, "ista", "flat"); ok {
 		fmt.Fprintf(w, "at minsup %d: IsTa (prefix tree) is %.0fx faster than the flat repository\n\n", ms, f)
 	}
-	return nil
+	return cfg.writeJSON(w, "flat", db.Stats().String(), algos, rows)
 }
 
 func runOrders(cfg Config, w io.Writer) error {
@@ -252,16 +273,16 @@ func runOrders(cfg Config, w io.Writer) error {
 func runPrune(cfg Config, w io.Writer) error {
 	algos := []string{"ista", "ista-noprune", "carp-table", "carp-table-noelim", "carp-lists", "carp-lists-noelim"}
 	db := gendata.Yeast(cfg.scale(0.15), cfg.seed(1))
-	if err := sweepPlain(w, "Pruning/elimination ablation (yeast-like)", db, []int{16, 14, 12}, algos, cfg.timeout(15*time.Second)); err != nil {
+	if err := sweepPlain(w, cfg, "prune-yeast", "Pruning/elimination ablation (yeast-like)", db, []int{16, 14, 12}, algos, cfg.timeout(15*time.Second)); err != nil {
 		return err
 	}
 	db = gendata.Thrombin(cfg.scale(0.02), cfg.seed(3))
-	return sweepPlain(w, "Pruning/elimination ablation (thrombin-like)", db, []int{38, 36, 34}, algos, cfg.timeout(15*time.Second))
+	return sweepPlain(w, cfg, "prune-thrombin", "Pruning/elimination ablation (thrombin-like)", db, []int{38, 36, 34}, algos, cfg.timeout(15*time.Second))
 }
 
 func runCobbler(cfg Config, w io.Writer) error {
 	db := gendata.Thrombin(cfg.scale(0.02), cfg.seed(3))
-	return sweepPlain(w, "Cobbler vs intersection miners (thrombin-like)", db,
+	return sweepPlain(w, cfg, "cobbler", "Cobbler vs intersection miners (thrombin-like)", db,
 		[]int{40, 36, 34, 32}, []string{"ista", "carp-table", "cobbler", "eclat-closed"}, cfg.timeout(20*time.Second))
 }
 
@@ -287,7 +308,7 @@ func runScaling(cfg Config, w io.Writer) error {
 
 func runRepo(cfg Config, w io.Writer) error {
 	db := gendata.Yeast(cfg.scale(0.15), cfg.seed(1))
-	return sweepPlain(w, "Repository layout ablation (Carpenter, yeast-like)", db,
+	return sweepPlain(w, cfg, "repo", "Repository layout ablation (Carpenter, yeast-like)", db,
 		[]int{16, 14, 12}, []string{"carp-table", "carp-table-hash"}, cfg.timeout(30*time.Second))
 }
 
@@ -301,20 +322,26 @@ func runRepo(cfg Config, w io.Writer) error {
 func runParallel(cfg Config, w io.Writer) error {
 	registry := Algorithms()
 	fmt.Fprintf(w, "(%d cores available)\n\n", runtime.NumCPU())
+	var jrows []Row
+	var jalgos []string
 	section := func(title string, db *dataset.Database, minsup int, seqName string, parAlgo func(p int) Algo) error {
 		fmt.Fprintf(w, "%s\nworkload: %s, minsup %d\n", title, db.Stats(), minsup)
-		fmt.Fprintf(w, "%-16s  %10s  %9s  %8s\n", "engine", "time(s)", "#closed", "speedup")
+		fmt.Fprintf(w, "%-16s  %10s  %9s  %9s  %8s\n", "engine", "time(s)", "mine(s)", "#closed", "speedup")
 		base := RunOne(registry[seqName], db, minsup, cfg.timeout(60*time.Second))
 		if base.Err != nil {
 			return base.Err
 		}
-		fmt.Fprintf(w, "%-16s  %10s  %9d  %8s\n", seqName, formatSeconds(base.Time), base.Closed, "1.0x")
+		row := Row{MinSupport: minsup, Cells: map[string]Cell{seqName: base}, Closed: base.Closed}
+		jalgos = append(jalgos, seqName)
+		fmt.Fprintf(w, "%-16s  %10s  %10s  %9d  %8s\n", seqName, formatSeconds(base.Time), formatSeconds(base.MineTime), base.Closed, "1.0x")
 		for _, p := range cfg.parWorkers() {
 			a := parAlgo(p)
 			cell := RunOne(a, db, minsup, cfg.timeout(60*time.Second))
 			if cell.Err != nil {
 				return cell.Err
 			}
+			row.Cells[a.Name] = cell
+			jalgos = append(jalgos, a.Name)
 			if cell.TimedOut {
 				fmt.Fprintf(w, "%-16s  %10s\n", a.Name, "timeout")
 				continue
@@ -322,9 +349,10 @@ func runParallel(cfg Config, w io.Writer) error {
 			if cell.Closed != base.Closed {
 				return fmt.Errorf("bench: %s found %d closed sets, sequential %d", a.Name, cell.Closed, base.Closed)
 			}
-			fmt.Fprintf(w, "%-16s  %10s  %9d  %7.1fx\n", a.Name, formatSeconds(cell.Time), cell.Closed,
+			fmt.Fprintf(w, "%-16s  %10s  %10s  %9d  %7.1fx\n", a.Name, formatSeconds(cell.Time), formatSeconds(cell.MineTime), cell.Closed,
 				float64(base.Time)/float64(cell.Time))
 		}
+		jrows = append(jrows, row)
 		fmt.Fprintln(w)
 		return nil
 	}
@@ -339,19 +367,22 @@ func runParallel(cfg Config, w io.Writer) error {
 		return err
 	}
 	ncbi := gendata.NCBI60(cfg.scale(1)*0.25, cfg.seed(5))
-	return section("branch-parallel Carpenter (few dense transactions)", ncbi, 50,
+	if err := section("branch-parallel Carpenter (few dense transactions)", ncbi, 50,
 		"carp-table", func(p int) Algo {
 			return engineAlgo(fmt.Sprintf("carp-table-p%d", p), "carpenter-table", p)
-		})
+		}); err != nil {
+		return err
+	}
+	return cfg.writeJSON(w, "par", "quest + ncbi60 (see sections above)", jalgos, jrows)
 }
 
-func sweepPlain(w io.Writer, title string, db *dataset.Database, supports []int, algos []string, timeout time.Duration) error {
+func sweepPlain(w io.Writer, cfg Config, id, title string, db *dataset.Database, supports []int, algos []string, timeout time.Duration) error {
 	rows, err := Sweep(db, supports, algos, timeout)
 	if err != nil {
 		return err
 	}
 	WriteTable(w, title, db.Stats(), algos, rows)
-	return nil
+	return cfg.writeJSON(w, id, db.Stats().String(), algos, rows)
 }
 
 func runTable1(_ Config, w io.Writer) error {

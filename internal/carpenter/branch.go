@@ -101,10 +101,12 @@ type TableWorker struct {
 }
 
 // NewWorker returns a fresh worker with its own repository and
-// cancellation control on the shared guard g (which may be nil); rep
-// receives the worker's (possibly duplicate or partial-support) reports
-// in prepared item codes decoded to original codes.
-func (b *TableBrancher) NewWorker(done <-chan struct{}, g *guard.Guard, rep result.Reporter) *TableWorker {
+// cancellation control on the shared guard g (which may be nil) feeding
+// the shared counters (which may also be nil), so worker work shows up
+// in the run's stats and progress; rep receives the worker's (possibly
+// duplicate or partial-support) reports in prepared item codes decoded
+// to original codes.
+func (b *TableBrancher) NewWorker(done <-chan struct{}, g *guard.Guard, counters *mining.Counters, rep result.Reporter) *TableWorker {
 	return &TableWorker{m: &miner{
 		minsup: b.minsup,
 		n:      b.n,
@@ -112,7 +114,7 @@ func (b *TableBrancher) NewWorker(done <-chan struct{}, g *guard.Guard, rep resu
 		repo:   newRepoTree(b.pre.DB.Items),
 		pre:    b.pre,
 		rep:    rep,
-		ctl:    mining.Guarded(done, g),
+		ctl:    mining.GuardedCounted(done, g, counters),
 		matrix: b.matrix,
 	}}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/result"
 )
@@ -72,14 +73,29 @@ type Spec struct {
 	Guard *guard.Guard
 	// Stats, when non-nil, is filled with per-run counters and timings.
 	Stats *Stats
+	// Sink, when non-nil, receives the run's observability events: phase
+	// spans (prep, mine, merge) and rate-limited progress snapshots fed
+	// from the Controls' amortized slow path. With a nil Sink and nil
+	// Stats the run builds no counters at all and stays on the
+	// atomic-free fast path.
+	Sink obs.Sink
+	// ProgressEvery is the minimum interval between progress snapshots;
+	// 0 selects obs.DefaultInterval.
+	ProgressEvery time.Duration
 
 	ctl *mining.Control
+	run *obs.Run
 }
 
 // Control returns the cancellation/budget/stats control Run built for
 // this run. Miners must thread it through their loops instead of creating
 // their own so that budgets and counters are shared.
 func (s *Spec) Control() *mining.Control { return s.ctl }
+
+// Observer returns the run-scoped observation handle Run built for this
+// run (nil — and safe to use — when no Sink is configured). Parallel
+// engines use it to emit their merge-phase spans.
+func (s *Spec) Observer() *obs.Run { return s.run }
 
 // ErrUnknownAlgorithm is wrapped by Run's error for an unregistered name.
 var ErrUnknownAlgorithm = errors.New("engine: unknown algorithm")
@@ -111,8 +127,11 @@ func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) erro
 
 	parallel := reg.parallel != nil && (spec.Workers < 0 || spec.Workers >= 2)
 	var counters *mining.Counters
-	if spec.Stats != nil {
+	if spec.Stats != nil || spec.Sink != nil {
 		counters = &mining.Counters{}
+		rep = countingReporter{rep, counters}
+	}
+	if spec.Stats != nil {
 		*spec.Stats = Stats{
 			Algorithm:    reg.Name,
 			Target:       spec.Target,
@@ -121,13 +140,17 @@ func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) erro
 			Transactions: len(db.Trans),
 			Items:        db.Items,
 		}
-		rep = countingReporter{rep, spec.Stats}
+	}
+	if spec.Sink != nil {
+		spec.run = obs.NewRun(spec.Sink, spec.ProgressEvery, countsOf(counters))
+		counters.SetOnCheck(spec.run.Observe)
 	}
 	spec.ctl = mining.GuardedCounted(spec.Done, spec.Guard, counters)
 
 	start := time.Now()
 	pre := prep.Prepare(db, spec.MinSupport, reg.Prep)
 	prepDone := time.Now()
+	spec.run.Span(obs.PhasePrep, start)
 	if spec.Stats != nil {
 		spec.Stats.PrepTime = prepDone.Sub(start)
 		spec.Stats.PreppedTransactions = len(pre.DB.Trans)
@@ -143,25 +166,44 @@ func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) erro
 		err = fn(pre, &spec, rep)
 	}
 	spec.ctl.Flush()
+	spec.run.Span(obs.PhaseMine, prepDone)
 	if spec.Stats != nil {
 		spec.Stats.MineTime = time.Since(prepDone)
+		spec.Stats.Patterns = counters.Patterns.Load()
 		spec.Stats.Checks = counters.Checks.Load()
 		spec.Stats.Ops = counters.Ops.Load()
 		spec.Stats.NodesPeak = counters.NodesPeak.Load()
 	}
+	// The final progress snapshot is emitted before Run returns — with
+	// every worker joined and the control flushed — so it agrees exactly
+	// with Stats, and no event can trail a finished (or canceled) run.
+	spec.run.Finish()
 	return err
 }
 
-// countingReporter counts the patterns the miner reports. Both the
-// sequential miners and the parallel engines emit patterns from a single
-// goroutine (the parallel engines merge before reporting), so a plain
-// increment suffices.
+// countsOf adapts the shared counters to the obs snapshot shape.
+func countsOf(c *mining.Counters) func() obs.Counts {
+	return func() obs.Counts {
+		return obs.Counts{
+			Patterns: c.Patterns.Load(),
+			Ops:      c.Ops.Load(),
+			Checks:   c.Checks.Load(),
+			Nodes:    c.NodesPeak.Load(),
+		}
+	}
+}
+
+// countingReporter counts the patterns the miner reports into the shared
+// run counters. Both the sequential miners and the parallel engines emit
+// patterns from a single goroutine (the parallel engines merge before
+// reporting), but progress snapshots read the count from worker
+// goroutines, so it is kept atomically.
 type countingReporter struct {
-	rep   result.Reporter
-	stats *Stats
+	rep      result.Reporter
+	counters *mining.Counters
 }
 
 func (c countingReporter) Report(items itemset.Set, support int) {
-	c.stats.Patterns++
+	c.counters.CountPattern()
 	c.rep.Report(items, support)
 }

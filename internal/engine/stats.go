@@ -43,13 +43,27 @@ type Stats struct {
 	// shared preprocessing pipeline and the miner itself.
 	PrepTime time.Duration
 	MineTime time.Duration
+
+	// Durable-path counters, filled only by crash-safe runs through the
+	// persistence layer (cmd/fim -snapshot-dir, fim.OpenDurable); all
+	// zero for batch runs. Replayed counts the transactions recovered
+	// from the snapshot + write-ahead log instead of being re-added,
+	// Added the transactions newly appended by this run, and Snapshots
+	// the snapshot writes (including log rotations) it performed.
+	Replayed  int
+	Added     int
+	Snapshots int
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"algo=%s target=%s minsup=%d parallel=%v db=%d/%d trans %d/%d items patterns=%d ops=%d checks=%d nodes-peak=%d prep=%s mine=%s",
 		s.Algorithm, s.Target, s.MinSupport, s.Parallel,
 		s.PreppedTransactions, s.Transactions, s.PreppedItems, s.Items,
 		s.Patterns, s.Ops, s.Checks, s.NodesPeak,
 		s.PrepTime.Round(time.Microsecond), s.MineTime.Round(time.Microsecond))
+	if s.Replayed != 0 || s.Added != 0 || s.Snapshots != 0 {
+		out += fmt.Sprintf(" replayed=%d added=%d snapshots=%d", s.Replayed, s.Added, s.Snapshots)
+	}
+	return out
 }

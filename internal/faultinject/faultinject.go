@@ -6,9 +6,12 @@
 // it exercises worker-panic containment in the parallel engines.
 //
 // The injectors that arm global seams (PanicAtTick, DeadlineAtTick,
-// PanicAtTreeNode) return a restore function and must be armed/disarmed
-// while no mining run is active; the conformance suite in the repository
-// root drives every algorithm through them.
+// PanicAtTreeNode) return a restore function. Arming and disarming the
+// tick seams is race-free even while runs are active (Controls sample
+// the hook atomically at construction), but deterministic injection
+// still requires arming before the target run starts — a running miner's
+// Controls keep the hook they sampled. The conformance suite in the
+// repository root drives every algorithm through them.
 package faultinject
 
 import (
@@ -81,14 +84,14 @@ func (f TickFault) String() string {
 func PanicAtTick(k int64) (restore func()) {
 	restoreInterval := mining.SetCheckInterval(1)
 	var ticks atomic.Int64
-	mining.TickHook = func() error {
+	restoreHook := mining.SetTickHook(func() error {
 		if t := ticks.Add(1); t >= k {
 			panic(TickFault{K: t})
 		}
 		return nil
-	}
+	})
 	return func() {
-		mining.TickHook = nil
+		restoreHook()
 		restoreInterval()
 	}
 }
@@ -101,14 +104,14 @@ func PanicAtTick(k int64) (restore func()) {
 func DeadlineAtTick(k int64) (restore func()) {
 	restoreInterval := mining.SetCheckInterval(1)
 	var ticks atomic.Int64
-	mining.TickHook = func() error {
+	restoreHook := mining.SetTickHook(func() error {
 		if ticks.Add(1) >= k {
 			return guard.ErrDeadline
 		}
 		return nil
-	}
+	})
 	return func() {
-		mining.TickHook = nil
+		restoreHook()
 		restoreInterval()
 	}
 }

@@ -36,19 +36,35 @@ func SetCheckInterval(n int) (restore func()) {
 	return func() { checkInterval = prev }
 }
 
-// TickHook, when non-nil, is invoked on every amortized tick check of
-// every Control. A non-nil return value latches into the Control and
-// aborts the run; a panic propagates into the mining code exactly like a
-// real in-worker fault. It is a fault-injection seam
-// (internal/faultinject) and must only be set while no mining run is
-// active.
-var TickHook func() error
+// tickHook is the process-global fault-injection seam (a successor to
+// the former TickHook package variable, whose unguarded writes raced
+// with worker reads). Controls sample it once at construction with an
+// atomic load, so installing or removing a hook is safe even while runs
+// are active: Controls created afterwards see the new hook, existing
+// ones keep the one they sampled, and nothing tears.
+var tickHook atomic.Pointer[func() error]
+
+// SetTickHook installs h as the tick hook of every Control created
+// afterwards and returns a function restoring the previous hook. The
+// hook is invoked on each amortized tick check of those Controls: a
+// non-nil error return latches into the Control and aborts its run, and
+// a panic propagates into the mining code exactly like a real in-worker
+// fault. It is a fault-injection seam (internal/faultinject); h must be
+// safe for concurrent calls from worker goroutines.
+func SetTickHook(h func() error) (restore func()) {
+	var p *func() error
+	if h != nil {
+		p = &h
+	}
+	prev := tickHook.Swap(p)
+	return func() { tickHook.Store(prev) }
+}
 
 // Counters accumulates per-run observability counters. A single Counters
 // may be shared by many Controls (one per worker goroutine); all fields
 // are updated atomically, and only on the Controls' amortized slow paths
-// so the mining hot loops stay unchanged. A nil *Counters disables all
-// counting.
+// (and the reporting path, for Patterns) so the mining hot loops stay
+// unchanged. A nil *Counters disables all counting.
 type Counters struct {
 	// Checks counts amortized cancellation checkpoints (Control slow-path
 	// checks, one per checkInterval Ticks).
@@ -59,6 +75,32 @@ type Counters struct {
 	// NodesPeak tracks the largest repository size (prefix-tree nodes or
 	// stored sets) observed through PollNodes.
 	NodesPeak atomic.Int64
+	// Patterns counts the patterns reported so far (engine reporting
+	// path; atomic so progress snapshots can read it from any worker).
+	Patterns atomic.Int64
+
+	// onCheck, when non-nil, is invoked after every amortized slow-path
+	// check of every Control sharing this Counters (progress sampling).
+	// It is set once, before the run starts, through SetOnCheck.
+	onCheck func()
+}
+
+// SetOnCheck installs f as the shared observer invoked after each
+// amortized slow-path check (with the Control's local counters already
+// flushed). It must be called before any Control using c starts ticking;
+// f must be safe for concurrent calls from worker goroutines and must
+// return quickly — it runs on the mining slow path.
+func (c *Counters) SetOnCheck(f func()) {
+	if c != nil {
+		c.onCheck = f
+	}
+}
+
+// CountPattern records one reported pattern.
+func (c *Counters) CountPattern() {
+	if c != nil {
+		c.Patterns.Add(1)
+	}
 }
 
 // PeakNodes records n as a candidate repository peak.
@@ -83,6 +125,7 @@ type Control struct {
 	done     <-chan struct{}
 	guard    *guard.Guard
 	counters *Counters
+	hook     func() error // per-Control tick hook, sampled from tickHook
 	budget   int
 	ops      int64 // CountOps units not yet flushed to counters
 	err      error // latched: once failed, every check reports this error
@@ -100,14 +143,29 @@ func NewControl(done <-chan struct{}) *Control {
 // (deadline and latched resource trips) on the same amortized schedule.
 // Both done and g may be nil.
 func Guarded(done <-chan struct{}, g *guard.Guard) *Control {
-	return &Control{done: done, guard: g, budget: 1}
+	return GuardedCounted(done, g, nil)
 }
 
 // GuardedCounted is Guarded with an optional shared Counters that the
-// Control feeds on its amortized slow path (engine stats). All arguments
-// may be nil.
+// Control feeds on its amortized slow path (engine stats, progress
+// sampling). All arguments may be nil.
 func GuardedCounted(done <-chan struct{}, g *guard.Guard, c *Counters) *Control {
-	return &Control{done: done, guard: g, counters: c, budget: 1}
+	ctl := &Control{done: done, guard: g, counters: c, budget: 1}
+	if p := tickHook.Load(); p != nil {
+		ctl.hook = *p
+	}
+	return ctl
+}
+
+// Counters returns the shared Counters this Control feeds (nil when none
+// is attached). Parallel engines use it to hand every worker's private
+// Control the same Counters, so per-worker work lands in the run's
+// stats and progress snapshots.
+func (c *Control) Counters() *Counters {
+	if c == nil {
+		return nil
+	}
+	return c.counters
 }
 
 // CountOps records n algorithm work units (intersections, extension
@@ -140,7 +198,7 @@ func (c *Control) Flush() {
 // every subsequent call reports it immediately, so callers that keep
 // polling cannot resume mining past a cancellation.
 func (c *Control) Tick() error {
-	if c == nil || (c.done == nil && c.guard == nil && c.counters == nil && TickHook == nil) {
+	if c == nil || (c.done == nil && c.guard == nil && c.counters == nil && c.hook == nil) {
 		return nil
 	}
 	if c.err != nil {
@@ -155,8 +213,9 @@ func (c *Control) Tick() error {
 }
 
 // check is the slow path of Tick: counter flush, fault-injection hook,
-// guard deadline, done channel, in that order (so a simultaneous deadline
-// and cancellation deterministically reports the deadline).
+// guard deadline, done channel, progress observer, in that order (so a
+// simultaneous deadline and cancellation deterministically reports the
+// deadline, and a stopping Control emits no further progress).
 func (c *Control) check() error {
 	if c.counters != nil {
 		c.counters.Checks.Add(1)
@@ -165,8 +224,8 @@ func (c *Control) check() error {
 			c.ops = 0
 		}
 	}
-	if h := TickHook; h != nil {
-		if err := h(); err != nil {
+	if c.hook != nil {
+		if err := c.hook(); err != nil {
 			c.err = err
 			return err
 		}
@@ -182,6 +241,9 @@ func (c *Control) check() error {
 			return c.err
 		default:
 		}
+	}
+	if c.counters != nil && c.counters.onCheck != nil {
+		c.counters.onCheck()
 	}
 	return nil
 }

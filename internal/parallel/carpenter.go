@@ -2,12 +2,14 @@ package parallel
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/carpenter"
 	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/result"
 )
@@ -45,19 +47,22 @@ func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter)
 
 	ctl := mining.Guarded(opts.Done, opts.Guard)
 	pre := prep.Prepare(db, minsup, prep.Config{Items: opts.ItemOrder, Trans: opts.TransOrder})
-	return minePreparedCarpenter(pre, minsup, workers, opts.Done, opts.Guard, ctl, rep)
+	return minePreparedCarpenter(pre, minsup, workers, opts.Done, opts.Guard, ctl, nil, rep)
 }
 
 // minePreparedCarpenter is the branch-parallel table Carpenter on an
 // already preprocessed database. done/g are needed separately from ctl
-// because each worker builds a private control on them.
-func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan struct{}, g *guard.Guard, ctl *mining.Control, rep result.Reporter) error {
+// because each worker builds a private control on them (sharing ctl's
+// Counters, so worker work shows up in the run's stats and progress);
+// run, when non-nil, receives the merge-phase span.
+func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan struct{}, g *guard.Guard, ctl *mining.Control, run *obs.Run, rep result.Reporter) error {
 	if pre.DB.Items == 0 || len(pre.DB.Trans) < minsup {
 		return nil
 	}
 	if err := ctl.Tick(); err != nil {
 		return err
 	}
+	counters := ctl.Counters()
 
 	brancher := carpenter.NewTableBrancher(pre, minsup, false)
 	branches := brancher.Branches()
@@ -80,7 +85,7 @@ func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan 
 			defer guard.Recover(&errs[w])
 			m := result.NewMaxMerger()
 			merged[w] = m
-			worker := brancher.NewWorker(done, g, result.ReporterFunc(
+			worker := brancher.NewWorker(done, g, counters, result.ReporterFunc(
 				func(items itemset.Set, supp int) { m.Add(items, supp) }))
 			for b := w; b < len(branches); b += workers {
 				if err := worker.Explore(branches[b]); err != nil {
@@ -96,6 +101,7 @@ func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan 
 	}
 
 	// Fold the per-worker merges into one and emit canonically.
+	mergeStart := time.Now()
 	total := result.NewMaxMerger()
 	for _, m := range merged {
 		m.Emit(1, result.ReporterFunc(func(items itemset.Set, supp int) {
@@ -106,5 +112,6 @@ func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan 
 		return err
 	}
 	total.Emit(minsup, rep)
+	run.Span(obs.PhaseMerge, mergeStart)
 	return nil
 }

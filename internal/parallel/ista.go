@@ -3,12 +3,14 @@ package parallel
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
+	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/result"
 )
@@ -39,13 +41,15 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 
 	ctl := mining.Guarded(opts.Done, opts.Guard)
 	pre := prep.Prepare(db, minsup, prep.Config{Items: opts.ItemOrder, Trans: opts.TransOrder})
-	return minePreparedIsTa(pre, minsup, workers, opts.Done, opts.Guard, ctl, rep)
+	return minePreparedIsTa(pre, minsup, workers, opts.Done, opts.Guard, ctl, nil, rep)
 }
 
 // minePreparedIsTa is the sharded IsTa engine on an already preprocessed
 // database. done/g are needed separately from ctl because each worker
-// builds a private control on them.
-func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struct{}, g *guard.Guard, ctl *mining.Control, rep result.Reporter) error {
+// builds a private control on them (sharing ctl's Counters, so worker
+// work shows up in the run's stats and progress); run, when non-nil,
+// receives the merge-phase span.
+func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struct{}, g *guard.Guard, ctl *mining.Control, run *obs.Run, rep result.Reporter) error {
 	pdb := pre.DB
 	if pdb.Items == 0 {
 		return nil
@@ -62,6 +66,7 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 	// at that floor; it degrades to 1 on many-transaction workloads,
 	// where no shard-local threshold above 1 is sound.
 	n := len(pdb.Trans)
+	counters := ctl.Counters()
 	shards := make([][]itemset.Set, workers)
 	for i, t := range pdb.Trans {
 		shards[i%workers] = append(shards[i%workers], t)
@@ -82,13 +87,14 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 			if floor < 1 {
 				floor = 1
 			}
-			patterns[w], errs[w] = mineShard(pdb.Items, shards[w], floor, done, g)
+			patterns[w], errs[w] = mineShard(pdb.Items, shards[w], floor, done, g, counters)
 		}(w)
 	}
 	wg.Wait()
 	if err := firstError(errs); err != nil {
 		return err
 	}
+	mergeStart := time.Now()
 
 	// Phase 2: build the merge tree. Every closed set of the full
 	// database is an intersection of shard-closed sets (one per shard
@@ -196,15 +202,17 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 		go func(w int) {
 			defer wg.Done()
 			defer guard.Recover(&countErrs[w])
-			wctl := mining.Guarded(done, g)
+			wctl := mining.GuardedCounted(done, g, counters)
 			var bufs [2][]int32
 			for i := w; i < len(cands); i += workers {
 				if err := wctl.Tick(); err != nil {
 					countErrs[w] = err
 					return
 				}
+				wctl.CountOps(1) // one exact candidate recount
 				supp[i] = countSupport(vert, cands[i], minsup, &bufs)
 			}
+			wctl.Flush()
 		}(w)
 	}
 	wg.Wait()
@@ -229,6 +237,7 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 	filt.Emit(result.ReporterFunc(func(s itemset.Set, support int) {
 		rep.Report(pre.DecodeSet(s), support)
 	}))
+	run.Span(obs.PhaseMerge, mergeStart)
 	return nil
 }
 
@@ -237,9 +246,10 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 // shard-local floor computed by the caller) in prepared item codes. When
 // the floor exceeds 1 the standard item-elimination pruning applies
 // shard-locally. The guard's node budget bounds this shard's private
-// tree.
-func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{}, g *guard.Guard) ([]result.Pattern, error) {
-	ctl := mining.Guarded(done, g)
+// tree; the shared counters (may be nil) receive this shard's ops and
+// checkpoint counts.
+func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{}, g *guard.Guard, counters *mining.Counters) ([]result.Pattern, error) {
+	ctl := mining.GuardedCounted(done, g, counters)
 	tree := core.NewTree(items)
 	tree.SetCancel(func() bool {
 		return ctl.PollNodes(tree.NodeCount()) != nil || ctl.Canceled()
@@ -258,6 +268,7 @@ func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{},
 		if err := ctl.Tick(); err != nil {
 			return nil, err
 		}
+		ctl.CountOps(1) // one cumulative intersection pass per transaction
 		tree.AddTransaction(t)
 		if tree.Aborted() {
 			return nil, ctl.Cause()
@@ -284,6 +295,7 @@ func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{},
 	if tree.Aborted() {
 		return nil, ctl.Cause()
 	}
+	ctl.Flush()
 	return out, nil
 }
 

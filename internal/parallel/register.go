@@ -21,7 +21,7 @@ func init() {
 			reg, _ := engine.Lookup("ista")
 			return reg.Mine(pre, spec, rep)
 		}
-		return minePreparedIsTa(pre, spec.MinSupport, workers, spec.Done, spec.Guard, spec.Control(), rep)
+		return minePreparedIsTa(pre, spec.MinSupport, workers, spec.Done, spec.Guard, spec.Control(), spec.Observer(), rep)
 	})
 	engine.RegisterParallel("carpenter-table", func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
 		workers := spec.Workers
@@ -32,6 +32,6 @@ func init() {
 			reg, _ := engine.Lookup("carpenter-table")
 			return reg.Mine(pre, spec, rep)
 		}
-		return minePreparedCarpenter(pre, spec.MinSupport, workers, spec.Done, spec.Guard, spec.Control(), rep)
+		return minePreparedCarpenter(pre, spec.MinSupport, workers, spec.Done, spec.Guard, spec.Control(), spec.Observer(), rep)
 	})
 }

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/result"
 )
 
@@ -34,6 +36,11 @@ type Options struct {
 	Keep int
 	// FS overrides the file system (fault injection); nil uses the OS.
 	FS FS
+	// Obs, when non-nil, receives a span for every recovery (phase
+	// "recover", on Open), snapshot write ("snapshot") and WAL rotation
+	// ("rotate"), each carrying the prefix-tree node count. Nil costs
+	// nothing.
+	Obs obs.Sink
 }
 
 func (o *Options) fill() {
@@ -72,6 +79,7 @@ type Durable struct {
 	dirty int    // appends since the last WAL sync
 	since int    // transactions since the last snapshot
 	snap  uint64 // step of the newest durable snapshot
+	snaps int    // snapshots written by this handle
 	err   error  // latched fatal error
 }
 
@@ -105,10 +113,12 @@ func Open(dir string, opt Options) (*Durable, error) {
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
 	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
 
+	recoverStart := time.Now()
 	m, snapStep, err := recoverState(fs, dir, opt, snaps, wals)
 	if err != nil {
 		return nil, err
 	}
+	obs.EmitSpan(opt.Obs, obs.PhaseRecover, recoverStart, obs.Counts{Nodes: int64(m.NodeCount())})
 	d := &Durable{fs: fs, dir: dir, opt: opt, m: m, snap: snapStep}
 	// Start a fresh active segment at the recovered step. If a segment
 	// with this base already exists it holds no durable records beyond
@@ -310,12 +320,15 @@ func (d *Durable) Snapshot() error {
 	if step == d.snap {
 		return nil // the durable snapshot already covers this state
 	}
+	snapStart := time.Now()
 	if _, err := writeSnapshotFile(d.fs, d.dir, d.m); err != nil {
 		return d.fail(err)
 	}
+	obs.EmitSpan(d.opt.Obs, obs.PhaseSnapshot, snapStart, obs.Counts{Nodes: int64(d.m.NodeCount())})
 	// The snapshot is durable; records up to step no longer need the old
 	// segment. Open the new segment before closing the old one so a
 	// failure in between cannot leave the store without an active log.
+	rotateStart := time.Now()
 	neww, err := createWAL(d.fs, d.dir, d.m.Items(), step)
 	if err != nil {
 		return d.fail(err)
@@ -325,10 +338,12 @@ func (d *Durable) Snapshot() error {
 	d.dirty = 0
 	d.since = 0
 	d.snap = step
+	d.snaps++
 	if err := old.Close(); err != nil {
 		return d.fail(err)
 	}
 	d.cleanup()
+	obs.EmitSpan(d.opt.Obs, obs.PhaseRotate, rotateStart, obs.Counts{Nodes: int64(d.m.NodeCount())})
 	return nil
 }
 
@@ -423,6 +438,10 @@ func (d *Durable) Items() int { return d.m.Items() }
 
 // NodeCount returns the current prefix tree size.
 func (d *Durable) NodeCount() int { return d.m.NodeCount() }
+
+// Snapshots returns the number of snapshots (each with its WAL rotation)
+// this handle has written; recovery on Open does not count.
+func (d *Durable) Snapshots() int { return d.snaps }
 
 // Closed reports the closed item sets of the transactions added so far
 // whose support reaches minSupport (queries work even after a write

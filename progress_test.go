@@ -1,0 +1,160 @@
+package fim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mining"
+)
+
+// progressLog collects OnProgress events thread-safely.
+type progressLog struct {
+	mu     sync.Mutex
+	events []ProgressEvent
+}
+
+func (l *progressLog) add(p ProgressEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, p)
+}
+
+func (l *progressLog) snapshot() []ProgressEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]ProgressEvent(nil), l.events...)
+}
+
+// checkMonotone fails the test unless every counter and the elapsed time
+// are non-decreasing across the events and exactly the last is Final.
+func checkMonotone(t *testing.T, events []ProgressEvent) {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("no progress events delivered")
+	}
+	for i, p := range events {
+		if got, want := p.Final, i == len(events)-1; got != want {
+			t.Fatalf("event %d/%d: Final=%v", i, len(events), got)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := events[i-1]
+		if p.Elapsed < prev.Elapsed || p.Patterns < prev.Patterns ||
+			p.Ops < prev.Ops || p.Checks < prev.Checks || p.Nodes < prev.Nodes {
+			t.Fatalf("event %d not monotone: %+v after %+v", i, p, prev)
+		}
+	}
+}
+
+// TestProgressConformance is the observability conformance check: with
+// progress enabled, snapshots are monotone, the final snapshot agrees
+// exactly with MiningStats, and the parallel run reports the identical
+// pattern set to the sequential one.
+func TestProgressConformance(t *testing.T) {
+	restore := mining.SetCheckInterval(1)
+	defer restore()
+
+	db := GenQuest(QuestConfig{
+		Transactions: 500, Items: 40, AvgLen: 8, Patterns: 12, AvgPatternLen: 4, Seed: 31,
+	})
+	const minsup = 10
+
+	seq, err := MineClosed(db, minsup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 4} {
+		var log progressLog
+		var st MiningStats
+		var out ResultSet
+		err := Mine(db, Options{
+			MinSupport:       minsup,
+			Parallelism:      workers,
+			Stats:            &st,
+			OnProgress:       log.add,
+			ProgressInterval: time.Nanosecond,
+		}, out.Collect())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out.Sort()
+		if !out.Equal(seq) {
+			t.Fatalf("workers=%d: pattern set differs from sequential:\n%s", workers, out.Diff(seq, 10))
+		}
+
+		events := log.snapshot()
+		checkMonotone(t, events)
+		final := events[len(events)-1]
+		if final.Patterns != st.Patterns || final.Ops != st.Ops ||
+			final.Checks != st.Checks || final.Nodes != st.NodesPeak {
+			t.Fatalf("workers=%d: final snapshot %+v disagrees with stats %+v", workers, final.Counts, st)
+		}
+	}
+}
+
+// TestProgressStopsAfterCancellation verifies that no progress event is
+// delivered after a canceled Mine returns, and that the terminal event
+// is still the Final snapshot.
+func TestProgressStopsAfterCancellation(t *testing.T) {
+	restore := mining.SetCheckInterval(1)
+	defer restore()
+
+	db := GenQuest(QuestConfig{
+		Transactions: 2000, Items: 60, AvgLen: 10, Patterns: 20, AvgPatternLen: 4, Seed: 33,
+	})
+
+	var log progressLog
+	done := make(chan struct{})
+	var once sync.Once
+	err := Mine(db, Options{
+		MinSupport:  20,
+		Parallelism: 4,
+		Done:        done,
+		OnProgress: func(p ProgressEvent) {
+			log.add(p)
+			once.Do(func() { close(done) }) // cancel at the first snapshot
+		},
+		ProgressInterval: time.Nanosecond,
+	}, ReporterFunc(func(ItemSet, int) {}))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+
+	after := len(log.snapshot())
+	time.Sleep(50 * time.Millisecond)
+	events := log.snapshot()
+	if len(events) != after {
+		t.Fatalf("%d progress events arrived after Mine returned", len(events)-after)
+	}
+	checkMonotone(t, events)
+}
+
+// TestNoSinkBuildsNoCounters pins the overhead contract at the API
+// level: without Stats and without any observability surface, Mine runs
+// the counter-free control path (no panic, same result), and with only
+// Stats it still delivers no progress callbacks.
+func TestNoSinkBuildsNoCounters(t *testing.T) {
+	db := GenQuest(QuestConfig{
+		Transactions: 200, Items: 30, AvgLen: 6, Patterns: 8, AvgPatternLen: 3, Seed: 35,
+	})
+	want, err := MineClosed(db, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st MiningStats
+	var out ResultSet
+	if err := Mine(db, Options{MinSupport: 5, Stats: &st}, out.Collect()); err != nil {
+		t.Fatal(err)
+	}
+	out.Sort()
+	if !out.Equal(want) {
+		t.Fatal("stats-only run changed the pattern set")
+	}
+	if st.Patterns != int64(want.Len()) {
+		t.Fatalf("stats patterns = %d, want %d", st.Patterns, want.Len())
+	}
+}
