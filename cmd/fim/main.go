@@ -24,19 +24,28 @@
 // and continues from the exact point a previous (possibly crashed) run
 // reached.
 //
+// An interrupt (SIGINT / SIGTERM) cancels the run cooperatively: the
+// patterns found so far are still written — a valid prefix of the full
+// result — and fim exits 3, like an expired -timeout.
+//
 // Exit codes distinguish failure modes for scripting:
 //
 //	0  complete result written
 //	1  internal failure (I/O error writing output, miner fault)
 //	2  malformed input or bad flags — nothing mined
-//	3  deadline or budget exhausted — the output is a valid but
-//	   truncated prefix of the full result
+//	3  deadline or budget exhausted, or interrupted — the output is a
+//	   valid but truncated prefix of the full result
 //	4  corrupt persistent state in -snapshot-dir — recovery refused
 //	   rather than silently dropping durable transactions
+//	5  degraded result — with -retries, one or more parallel shards
+//	   stayed failed after retry exhaustion; the output holds the
+//	   surviving shards' patterns (each genuinely closed, support a
+//	   lower bound) and the abandoned shards are reported to stderr
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,7 +55,9 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -debug-addr serves /debug/pprof/
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	fim "repro"
@@ -91,6 +102,8 @@ func main() {
 		maxPat  = flag.Int("max-patterns", 0, "stop after this many patterns (0 = unlimited); the truncated output is written and fim exits 3")
 		maxNode = flag.Int("max-nodes", 0, "cap the miner's repository (prefix-tree nodes / stored sets, 0 = unlimited); on excess fim writes the prefix found so far and exits 3")
 		par     = flag.Int("p", 0, "parallel workers for the algorithms with a parallel engine (0 or 1 = sequential, -1 = all cores); the pattern set is identical to the sequential run")
+		retries = flag.Int("retries", 0, "self-healing: retry a failed parallel shard (or transient durable-store I/O) up to n times before degrading; a run that still lost shards writes the surviving patterns and exits 5")
+		repair  = flag.Bool("repair", false, "with -snapshot-dir: quarantine damaged newer snapshot generations that recovery had to skip (renamed aside, reported to stderr) instead of leaving them in place")
 
 		progress  = flag.Bool("progress", false, "print rate-limited progress snapshots to stderr while mining")
 		debugAddr = flag.String("debug-addr", "", "serve debug endpoints (expvar on /debug/vars, pprof on /debug/pprof/) on this address for the process lifetime")
@@ -150,6 +163,11 @@ func main() {
 		}
 	} else if *resume {
 		failUsage(errors.New("-resume requires -snapshot-dir"))
+	} else if *repair {
+		failUsage(errors.New("-repair requires -snapshot-dir"))
+	}
+	if *retries < 0 {
+		failUsage(errors.New("-retries must not be negative"))
 	}
 
 	// Start the debug server before the input is read, so the endpoints
@@ -186,6 +204,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fim: workload %s, minsup %d\n", db.Stats(), minsup)
 	}
 
+	// An interrupt cancels the run cooperatively instead of killing the
+	// process: the miners poll the context at their budget checks, the
+	// patterns found so far are flushed, and fim exits 3. A second signal
+	// falls back to the default handler (immediate death) so a hung run
+	// can still be killed.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	opts := fim.Options{
 		MinSupport:   minsup,
 		Algorithm:    name,
@@ -193,6 +219,8 @@ func main() {
 		Parallelism:  *par,
 		MaxPatterns:  *maxPat,
 		MaxTreeNodes: *maxNode,
+		Context:      ctx,
+		Retry:        fim.RetryPolicy{MaxAttempts: *retries},
 	}
 	if *timeout > 0 {
 		opts.Deadline = time.Now().Add(*timeout)
@@ -209,19 +237,26 @@ func main() {
 	start := time.Now()
 	var patterns *fim.ResultSet
 	truncated := false
+	var partial *fim.PartialError
 	if *snapDir != "" {
-		patterns = mineDurable(db, minsup, *snapDir, *snapEvery, *resume, *progress, &runStats)
+		patterns, truncated = mineDurable(ctx, db, minsup, *snapDir, *snapEvery, *retries, *resume, *repair, *progress, &runStats)
+		if truncated {
+			err = fim.ErrCanceled
+		}
 	} else {
 		var set fim.ResultSet
 		err = fim.Mine(db, opts, set.Collect())
 		set.Sort()
 		patterns = &set
-		// A tripped deadline, budget, or cancellation still produced a
+		// A tripped deadline, budget, or cancellation (including an
+		// interrupt surfacing as the context's error) still produced a
 		// valid prefix of the result; write it before exiting so callers
-		// can use what was found.
+		// can use what was found. A degraded run — shards abandoned after
+		// retry exhaustion — likewise wrote every surviving shard's
+		// patterns; it is reported with its own exit code.
 		truncated = errors.Is(err, fim.ErrDeadline) || errors.Is(err, fim.ErrBudget) ||
-			errors.Is(err, fim.ErrCanceled)
-		if err != nil && !truncated {
+			errors.Is(err, fim.ErrCanceled) || errors.Is(err, context.Canceled)
+		if err != nil && !truncated && !errors.As(err, &partial) {
 			fail(err)
 		}
 	}
@@ -266,6 +301,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fim: truncated: %v (%d patterns written)\n", err, patterns.Len())
 		os.Exit(3)
 	}
+	if partial != nil {
+		fmt.Fprintf(os.Stderr, "fim: degraded: %v (%d patterns written)\n", partial, patterns.Len())
+		os.Exit(5)
+	}
 }
 
 // printProgress renders one progress snapshot as a stderr line; it is
@@ -285,15 +324,26 @@ func printProgress(p fim.ProgressEvent) {
 // durable-path run counters (replayed and added transactions, snapshot
 // writes, repository peak). Corrupt persistent state exits 4; a prior
 // state without -resume exits 2 so a stale directory is never extended
-// by accident.
-func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, progress bool, st *fim.MiningStats) *fim.ResultSet {
+// by accident. An interrupt (ctx canceled) stops the feed between
+// transactions, snapshots the durable prefix and returns it with
+// truncated set — every transaction fed so far stays durable, and a
+// -resume rerun continues exactly where the interrupt landed.
+func mineDurable(ctx context.Context, db *fim.Database, minsup int, dir string, every, retries int, resume, repair, progress bool, st *fim.MiningStats) (_ *fim.ResultSet, truncated bool) {
 	start := time.Now()
-	dm, err := fim.OpenDurable(dir, fim.DurableOptions{Items: db.Items, SnapshotEvery: every})
+	dm, err := fim.OpenDurable(dir, fim.DurableOptions{
+		Items:         db.Items,
+		SnapshotEvery: every,
+		Retry:         fim.RetryPolicy{MaxAttempts: retries},
+		Repair:        repair,
+	})
 	if err != nil {
 		if errors.Is(err, fim.ErrCorrupt) {
 			failCorrupt(err)
 		}
 		fail(err)
+	}
+	if rep := dm.RepairReport(); !rep.Empty() {
+		fmt.Fprintf(os.Stderr, "fim: repair: %s\n", rep.String())
 	}
 	done := dm.Transactions()
 	switch {
@@ -307,6 +357,11 @@ func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, pr
 	}
 	lastProgress := start
 	for i, tr := range db.Trans[done:] {
+		if ctx.Err() != nil {
+			// Interrupted: stop feeding, keep everything already durable.
+			truncated = true
+			break
+		}
 		if err := dm.AddSet(tr); err != nil {
 			fail(err)
 		}
@@ -316,8 +371,8 @@ func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, pr
 				time.Since(start).Round(time.Millisecond), done+i+1, len(db.Trans), dm.NodeCount())
 		}
 	}
-	// Leave a snapshot at the final state so the next open replays
-	// nothing.
+	// Leave a snapshot at the final (or interrupted) state so the next
+	// open replays nothing.
 	if err := dm.Snapshot(); err != nil {
 		fail(err)
 	}
@@ -334,13 +389,14 @@ func mineDurable(db *fim.Database, minsup int, dir string, every int, resume, pr
 		NodesPeak:           int64(dm.NodeCount()),
 		MineTime:            time.Since(start),
 		Replayed:            done,
-		Added:               len(db.Trans) - done,
+		Added:               dm.Transactions() - done,
 		Snapshots:           dm.Snapshots(),
+		Retries:             int64(dm.Retries()),
 	}
 	if err := dm.Close(); err != nil {
 		fail(err)
 	}
-	return patterns
+	return patterns, truncated
 }
 
 // algorithmInfo finds the registry entry for name, so a typo fails fast

@@ -274,3 +274,73 @@ func TestWriterFailuresExitNonZero(t *testing.T) {
 		t.Errorf("fim -out /dev/full exit %d, want 1", code)
 	}
 }
+
+// TestInterruptFlushesPartial sends SIGINT to a durable-path run mid-feed
+// and requires the documented interrupt behavior: the process stops
+// cooperatively, writes the valid partial output it has, exits 3, and a
+// -resume rerun completes to exactly the result an uninterrupted run
+// produces.
+func TestInterruptFlushesPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	fim := buildTool(t, dir, "fim")
+
+	// A stream long enough that the fsync-per-add feed far outlives the
+	// signal delivery below.
+	db := filepath.Join(dir, "big.dat")
+	var sb strings.Builder
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&sb, "0 1 %d %d\n", 2+i%6, 8+i%5)
+	}
+	if err := os.WriteFile(db, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "state")
+
+	cmd := exec.Command(fim, "-support", "2", "-snapshot-dir", snap, db)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("interrupted run exited cleanly — the feed finished before the signal; stderr:\n%s", errb.String())
+	}
+	if code := ee.ExitCode(); code != 3 {
+		t.Fatalf("interrupted run exit %d, want 3; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "truncated") {
+		t.Errorf("stderr does not report truncation:\n%s", errb.String())
+	}
+	// The flushed partial output is well-formed: every line is items
+	// followed by a support in parentheses.
+	lineRE := regexp.MustCompile(`^[0-9 ]+ \(\d+\)$`)
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		if line != "" && !lineRE.MatchString(line) {
+			t.Fatalf("malformed partial output line %q", line)
+		}
+	}
+
+	// Resume and compare against an uninterrupted batch run.
+	resumed, stderr, code := run(t, fim, nil, "-support", "2",
+		"-snapshot-dir", snap, "-resume", db)
+	if code != 0 {
+		t.Fatalf("resume exit %d\n%s", code, stderr)
+	}
+	batch, stderr, code := run(t, fim, nil, "-support", "2", db)
+	if code != 0 {
+		t.Fatalf("batch exit %d\n%s", code, stderr)
+	}
+	if resumed != batch {
+		t.Errorf("resumed result differs from uninterrupted batch run:\nresumed:\n%s\nbatch:\n%s", resumed, batch)
+	}
+}

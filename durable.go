@@ -15,6 +15,18 @@ import (
 // DESIGN.md §5d for the durability model.
 var ErrCorrupt = persist.ErrCorrupt
 
+// RepairReport summarizes what OpenDurable's recovery healed, skipped or
+// quarantined, plus the transient I/O retries the handle has performed
+// since. Inspect it through DurableMiner.RepairReport after an open that
+// had to fall back past damaged generations.
+type RepairReport = persist.RepairReport
+
+// QuarantineSuffix is appended to the file name of a snapshot that
+// recovery with DurableOptions.Repair set aside as unreadable; the
+// quarantined file is never again considered a generation but keeps its
+// bytes for forensics.
+const QuarantineSuffix = persist.QuarantineSuffix
+
 // DurableOptions configures OpenDurable.
 type DurableOptions struct {
 	// Items is the item universe size, required when the directory holds
@@ -34,6 +46,18 @@ type DurableOptions struct {
 	// every log rotation, each with its duration and the prefix-tree node
 	// count (see DESIGN.md §5e for the schema). Nil costs nothing.
 	TraceWriter io.Writer
+	// Retry, when enabled, re-attempts transient snapshot-write and
+	// log-rotation I/O failures with jittered backoff before giving up.
+	// WAL appends are never retried (a partial append would tear the log
+	// framing) and fsync failures are always fail-stop regardless of the
+	// policy (the kernel page cache is in an unknown state after a failed
+	// fsync). The zero value keeps every I/O failure fail-stop.
+	Retry RetryPolicy
+	// Repair, when set, lets a successful recovery quarantine the damaged
+	// newer snapshot generations it had to skip: each is renamed aside
+	// with QuarantineSuffix and listed in the RepairReport. When recovery
+	// fails nothing is renamed — the evidence stays where it was.
+	Repair bool
 }
 
 // DurableMiner is a crash-safe IncrementalMiner: every Add is logged to
@@ -60,6 +84,8 @@ func OpenDurable(dir string, opts DurableOptions) (*DurableMiner, error) {
 		SnapshotEvery: opts.SnapshotEvery,
 		SyncEvery:     opts.SyncEvery,
 		Obs:           sink,
+		Retry:         opts.Retry,
+		Repair:        opts.Repair,
 	})
 	if err != nil {
 		return nil, err
@@ -99,6 +125,14 @@ func (m *DurableMiner) NodeCount() int { return m.d.NodeCount() }
 // Snapshots returns the number of snapshots (each with its log rotation)
 // this handle has written; recovery on open does not count.
 func (m *DurableMiner) Snapshots() int { return m.d.Snapshots() }
+
+// RepairReport returns what recovery healed, skipped or quarantined on
+// open, plus the transient I/O retries performed since.
+func (m *DurableMiner) RepairReport() RepairReport { return m.d.RepairReport() }
+
+// Retries returns the number of transient I/O failures healed by
+// DurableOptions.Retry over the handle's lifetime (including recovery).
+func (m *DurableMiner) Retries() int { return m.d.Retries() }
 
 // Closed reports the closed item sets of the transactions added so far
 // whose support reaches minSupport. Queries stay available even after a

@@ -36,6 +36,7 @@ import (
 	"repro/internal/mining"
 	"repro/internal/obs"
 	"repro/internal/result"
+	"repro/internal/retry"
 	"repro/internal/rules"
 )
 
@@ -174,6 +175,29 @@ var (
 // goroutine's stack are carried in the error. Match with errors.As.
 type PanicError = guard.PanicError
 
+// RetryPolicy configures the self-healing supervisor: how many times a
+// failed work unit (a parallel shard, a durable-store I/O step) is
+// re-attempted and with what backoff. The zero value disables retries —
+// the first failure is final, today's fail-stop behavior. See DESIGN.md
+// §5f for the self-healing model.
+type RetryPolicy = retry.Policy
+
+// ErrPartial is wrapped by every degraded-mode result: a parallel run
+// whose failed shards exhausted their retry budget returns a
+// *PartialError (which wraps ErrPartial) while the patterns already
+// reported remain sound — every reported pattern is genuinely closed in
+// the full database and its reported support is a lower bound of (and
+// the guarantee threshold for) the true support. Match with errors.Is.
+var ErrPartial = engine.ErrPartial
+
+// PartialError reports a degraded parallel run: the shards that were
+// abandoned after retry exhaustion, each with its per-shard cause.
+// The run's output covers every shard not listed. Match with errors.As.
+type PartialError = engine.PartialError
+
+// ShardError is one abandoned work unit inside a PartialError.
+type ShardError = engine.ShardError
+
 // Options configures Mine.
 type Options struct {
 	// MinSupport is the absolute minimum support (number of
@@ -216,6 +240,15 @@ type Options struct {
 	// cap is exceeded. Algorithms without a repository (FP-close, LCM,
 	// Eclat, SaM, Apriori) ignore the field.
 	MaxTreeNodes int
+	// Retry, when enabled (MaxAttempts > 0), arms the self-healing
+	// supervisor in the parallel engines: a failed shard or branch worker
+	// is re-mined sequentially up to MaxAttempts times with jittered
+	// exponential backoff, and only when every attempt fails does the run
+	// degrade to a *PartialError carrying the per-shard report. The zero
+	// value keeps the fail-stop behavior (first worker failure aborts the
+	// run). Sequential engines ignore the field — they have no independent
+	// work units to re-mine. See DESIGN.md §5f.
+	Retry RetryPolicy
 	// Parallelism selects the number of worker goroutines for the
 	// algorithms with a parallel engine (IsTa and CarpenterTable): 0 or 1
 	// run the sequential miner unchanged, n >= 2 runs n workers, and
@@ -353,6 +386,7 @@ func mine(db *Database, opts Options, g *guard.Guard, done <-chan struct{}, rep 
 		Stats:         opts.Stats,
 		Sink:          sinkOf(opts),
 		ProgressEvery: opts.ProgressInterval,
+		Retry:         opts.Retry,
 	}, rep)
 }
 

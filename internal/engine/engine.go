@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/retry"
 )
 
 // Target selects which family of frequent item sets a run mines. The zero
@@ -82,6 +83,11 @@ type Spec struct {
 	// ProgressEvery is the minimum interval between progress snapshots;
 	// 0 selects obs.DefaultInterval.
 	ProgressEvery time.Duration
+	// Retry enables self-healing in the parallel engines: a failed shard
+	// or branch worker is re-mined sequentially up to Retry.MaxAttempts
+	// times before the run degrades to a typed partial result
+	// (PartialError). The zero value keeps today's fail-stop behavior.
+	Retry retry.Policy
 
 	ctl *mining.Control
 	run *obs.Run
@@ -173,6 +179,8 @@ func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) erro
 		spec.Stats.Checks = counters.Checks.Load()
 		spec.Stats.Ops = counters.Ops.Load()
 		spec.Stats.NodesPeak = counters.NodesPeak.Load()
+		spec.Stats.Retries = counters.Retries.Load()
+		spec.Stats.Degraded = counters.Degraded.Load()
 	}
 	// The final progress snapshot is emitted before Run returns — with
 	// every worker joined and the control flushed — so it agrees exactly

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrPartial marks a degraded run: some unit of work (a shard, a branch
+// group) stayed failed after its retries were exhausted, and the result
+// covers only the surviving units. Match with errors.Is; the concrete
+// error is always a *PartialError carrying the per-unit report.
+var ErrPartial = errors.New("engine: partial result")
+
+// ShardError reports one work unit a supervised parallel engine gave up
+// on: the shard (IsTa) or worker branch group (Carpenter) index, how
+// many sequential re-attempts were made before giving up, and the last
+// failure.
+type ShardError struct {
+	// Shard is the failed unit's index (round-robin shard for IsTa,
+	// worker branch group for Carpenter).
+	Shard int
+	// Attempts is the number of sequential re-attempts made after the
+	// initial parallel failure.
+	Attempts int
+	// Err is the last error of the final attempt.
+	Err error
+}
+
+func (e ShardError) Error() string {
+	return fmt.Sprintf("shard %d failed after %d retries: %v", e.Shard, e.Attempts, e.Err)
+}
+
+func (e ShardError) Unwrap() error { return e.Err }
+
+// PartialError is the typed partial-result error of a degraded run. The
+// patterns already reported are all genuinely closed over the covered
+// sub-database — every one is an intersection of surviving transactions,
+// and any intersection of transactions is closed — with supports exact
+// over the covered transactions and therefore lower bounds on the true
+// supports. Shards lists what was lost.
+type PartialError struct {
+	// Shards reports every abandoned work unit, in index order.
+	Shards []ShardError
+}
+
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: partial result (%d degraded shard(s))", len(e.Shards))
+	for _, s := range e.Shards {
+		fmt.Fprintf(&b, "; %s", s.Error())
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(err, ErrPartial) match.
+func (e *PartialError) Unwrap() error { return ErrPartial }

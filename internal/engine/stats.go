@@ -38,6 +38,13 @@ type Stats struct {
 	// nodes or stored sets; 0 for algorithms without a polled
 	// repository).
 	NodesPeak int64
+	// Retries counts healed re-attempts of failed work units (shard
+	// re-mines, branch re-explorations); nonzero only with Spec.Retry
+	// enabled.
+	Retries int64
+	// Degraded counts work units abandoned after retry exhaustion; when
+	// nonzero the run returned a *PartialError.
+	Degraded int64
 
 	// PrepTime and MineTime split the run's wall clock between the
 	// shared preprocessing pipeline and the miner itself.
@@ -62,6 +69,9 @@ func (s *Stats) String() string {
 		s.PreppedTransactions, s.Transactions, s.PreppedItems, s.Items,
 		s.Patterns, s.Ops, s.Checks, s.NodesPeak,
 		s.PrepTime.Round(time.Microsecond), s.MineTime.Round(time.Microsecond))
+	if s.Retries != 0 || s.Degraded != 0 {
+		out += fmt.Sprintf(" retries=%d degraded=%d", s.Retries, s.Degraded)
+	}
 	if s.Replayed != 0 || s.Added != 0 || s.Snapshots != 0 {
 		out += fmt.Sprintf(" replayed=%d added=%d snapshots=%d", s.Replayed, s.Added, s.Snapshots)
 	}

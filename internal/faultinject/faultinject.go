@@ -23,6 +23,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
+	"repro/internal/retry"
 )
 
 // ReporterFault is the value a failing reporter panics with; the guarded
@@ -137,4 +138,40 @@ func PanicAtTreeNode(n int) (restore func()) {
 		}
 	}
 	return func() { core.TestHookAlloc = nil }
+}
+
+// PanicAtTreeNodeOnce is PanicAtTreeNode with a consume-once trigger:
+// the first allocation (in any goroutine) reaching n live nodes panics,
+// and the fault then disarms itself — a re-mined shard succeeds. It is
+// the canonical "heals on retry" fault for the self-healing supervisor.
+func PanicAtTreeNodeOnce(n int) (restore func()) {
+	var fired atomic.Bool
+	core.TestHookAlloc = func(live int) {
+		if live >= n && !fired.Swap(true) {
+			panic(TreeFault{Live: live})
+		}
+	}
+	return func() { core.TestHookAlloc = nil }
+}
+
+// TransientErrAtTick arms a global fault: from the k-th cooperative tick
+// check on (counted across all controls and workers), every check fails
+// with an error classified retryable (retry.MarkTransient wrapping
+// ErrIO's tick analogue). Unlike a panic the failure is persistent, so
+// it exercises retry exhaustion: a supervisor re-mining the failed unit
+// keeps failing until its attempt budget runs out. Call the returned
+// function to disarm.
+func TransientErrAtTick(k int64) (restore func()) {
+	restoreInterval := mining.SetCheckInterval(1)
+	var ticks atomic.Int64
+	restoreHook := mining.SetTickHook(func() error {
+		if t := ticks.Add(1); t >= k {
+			return retry.MarkTransient(fmt.Errorf("injected transient fault at tick %d: %w", t, ErrChaos))
+		}
+		return nil
+	})
+	return func() {
+		restoreHook()
+		restoreInterval()
+	}
 }

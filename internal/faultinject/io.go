@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/persist"
+	"repro/internal/retry"
 )
 
 // ErrIO is the error injected I/O faults carry; persist must surface it
@@ -26,11 +27,12 @@ var ErrIO = errors.New("faultinject: injected I/O fault")
 // a crash-point sweep: run once cleanly, read Ops, then rerun once per
 // operation index.
 type FaultFS struct {
-	inner   persist.FS
-	failAt  int64
-	short   bool
-	ops     atomic.Int64
-	crashed atomic.Bool
+	inner     persist.FS
+	failAt    int64
+	short     bool
+	transient bool
+	ops       atomic.Int64
+	crashed   atomic.Bool
 }
 
 // NewFaultFS wraps inner so that the failAt-th mutating operation
@@ -38,6 +40,16 @@ type FaultFS struct {
 // set — and the file system behaves as crashed from then on.
 func NewFaultFS(inner persist.FS, failAt int64, short bool) *FaultFS {
 	return &FaultFS{inner: inner, failAt: failAt, short: short}
+}
+
+// NewTransientFaultFS wraps inner so that exactly the failAt-th mutating
+// operation (1-based; 0 = never) fails once, with an error classified
+// retryable (retry.MarkTransient); every operation before and after
+// succeeds. It simulates a hiccup — EINTR, a momentary ENOSPC — rather
+// than a dying process, and is what the store's Options.Retry is meant
+// to heal.
+func NewTransientFaultFS(inner persist.FS, failAt int64) *FaultFS {
+	return &FaultFS{inner: inner, failAt: failAt, transient: true}
 }
 
 // Ops returns the number of mutating operations seen so far.
@@ -48,6 +60,9 @@ func (f *FaultFS) Crashed() bool { return f.crashed.Load() }
 
 // trip counts one mutating operation and reports whether it must fail.
 func (f *FaultFS) trip() bool {
+	if f.transient {
+		return f.ops.Add(1) == f.failAt && f.failAt > 0
+	}
 	if f.crashed.Load() {
 		return true
 	}
@@ -58,9 +73,23 @@ func (f *FaultFS) trip() bool {
 	return false
 }
 
+// fault counts one mutating operation and returns the injected error it
+// must fail with, or nil. Transient-mode errors carry a retryable
+// classification; crash-mode errors are unclassified (permanent).
+func (f *FaultFS) fault(op, name string) error {
+	if !f.trip() {
+		return nil
+	}
+	err := fmt.Errorf("%s %s: %w", op, name, ErrIO)
+	if f.transient {
+		return retry.MarkTransient(err)
+	}
+	return err
+}
+
 func (f *FaultFS) Create(name string) (persist.File, error) {
-	if f.trip() {
-		return nil, fmt.Errorf("create %s: %w", name, ErrIO)
+	if err := f.fault("create", name); err != nil {
+		return nil, err
 	}
 	file, err := f.inner.Create(name)
 	if err != nil {
@@ -72,15 +101,15 @@ func (f *FaultFS) Create(name string) (persist.File, error) {
 func (f *FaultFS) Open(name string) (io.ReadCloser, error) { return f.inner.Open(name) }
 
 func (f *FaultFS) Rename(oldname, newname string) error {
-	if f.trip() {
-		return fmt.Errorf("rename %s: %w", oldname, ErrIO)
+	if err := f.fault("rename", oldname); err != nil {
+		return err
 	}
 	return f.inner.Rename(oldname, newname)
 }
 
 func (f *FaultFS) Remove(name string) error {
-	if f.trip() {
-		return fmt.Errorf("remove %s: %w", name, ErrIO)
+	if err := f.fault("remove", name); err != nil {
+		return err
 	}
 	return f.inner.Remove(name)
 }
@@ -88,15 +117,15 @@ func (f *FaultFS) Remove(name string) error {
 func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
 
 func (f *FaultFS) MkdirAll(dir string) error {
-	if f.trip() {
-		return fmt.Errorf("mkdir %s: %w", dir, ErrIO)
+	if err := f.fault("mkdir", dir); err != nil {
+		return err
 	}
 	return f.inner.MkdirAll(dir)
 }
 
 func (f *FaultFS) SyncDir(dir string) error {
-	if f.trip() {
-		return fmt.Errorf("syncdir %s: %w", dir, ErrIO)
+	if err := f.fault("syncdir", dir); err != nil {
+		return err
 	}
 	return f.inner.SyncDir(dir)
 }
@@ -110,31 +139,31 @@ type faultFile struct {
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
-	if f.fs.trip() {
+	if err := f.fs.fault("write", f.name); err != nil {
 		if f.fs.short && len(p) > 0 {
 			// A torn write: half the bytes reach the file, then the
 			// "process" dies.
 			n, _ := f.f.Write(p[:len(p)/2])
-			return n, fmt.Errorf("write %s: %w", f.name, ErrIO)
+			return n, err
 		}
-		return 0, fmt.Errorf("write %s: %w", f.name, ErrIO)
+		return 0, err
 	}
 	return f.f.Write(p)
 }
 
 func (f *faultFile) Sync() error {
-	if f.fs.trip() {
-		return fmt.Errorf("sync %s: %w", f.name, ErrIO)
+	if err := f.fs.fault("sync", f.name); err != nil {
+		return err
 	}
 	return f.f.Sync()
 }
 
 func (f *faultFile) Close() error {
-	if f.fs.trip() {
+	if err := f.fs.fault("close", f.name); err != nil {
 		// Release the real handle regardless: a crashed process's
 		// descriptors are closed by the kernel.
 		f.f.Close()
-		return fmt.Errorf("close %s: %w", f.name, ErrIO)
+		return err
 	}
 	return f.f.Close()
 }

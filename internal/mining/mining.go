@@ -78,6 +78,13 @@ type Counters struct {
 	// Patterns counts the patterns reported so far (engine reporting
 	// path; atomic so progress snapshots can read it from any worker).
 	Patterns atomic.Int64
+	// Retries counts healed re-attempts of failed work units (shard
+	// re-mines, branch re-explorations, retried persistence ops). Updated
+	// only on supervisor paths, never in mining loops.
+	Retries atomic.Int64
+	// Degraded counts work units abandoned after retry exhaustion; a
+	// nonzero value means the run returned a typed partial result.
+	Degraded atomic.Int64
 
 	// onCheck, when non-nil, is invoked after every amortized slow-path
 	// check of every Control sharing this Counters (progress sampling).
@@ -100,6 +107,20 @@ func (c *Counters) SetOnCheck(f func()) {
 func (c *Counters) CountPattern() {
 	if c != nil {
 		c.Patterns.Add(1)
+	}
+}
+
+// CountRetry records one healed re-attempt of a failed work unit.
+func (c *Counters) CountRetry() {
+	if c != nil {
+		c.Retries.Add(1)
+	}
+}
+
+// CountDegraded records one work unit abandoned after retry exhaustion.
+func (c *Counters) CountDegraded() {
+	if c != nil {
+		c.Degraded.Add(1)
 	}
 }
 

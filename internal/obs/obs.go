@@ -71,6 +71,34 @@ type Span struct {
 	Counts
 }
 
+// Note kinds emitted by the self-healing runtime. Like phase names the
+// set is open; sinks must tolerate unknown kinds.
+const (
+	// NoteRetry is one retry of a failed unit of work: a shard or branch
+	// re-mined after a worker fault, or a persistence operation re-run
+	// after a transient I/O error.
+	NoteRetry = "retry"
+	// NoteDegrade is one unit of work abandoned after its retries were
+	// exhausted: the run continues degraded and returns a typed partial
+	// result.
+	NoteDegrade = "degrade"
+	// NoteRepair is one auto-repair action of the durable store: a
+	// quarantined generation or a swept orphan file.
+	NoteRepair = "repair"
+)
+
+// Note is a point-in-time event of the self-healing runtime (a retry, a
+// degradation, a repair action) — unlike a Span it has no duration.
+type Note struct {
+	// Kind classifies the event (NoteRetry, NoteDegrade, NoteRepair).
+	Kind string `json:"kind"`
+	// Detail is a short human-readable description (which shard, which
+	// file, which attempt).
+	Detail string `json:"detail"`
+	// Counts is the cumulative counter state when the event fired.
+	Counts
+}
+
 // Progress is one rate-limited progress snapshot of a running mine.
 type Progress struct {
 	// Elapsed is the time since the run started.
@@ -91,6 +119,7 @@ type Progress struct {
 type Sink interface {
 	Span(Span)
 	Progress(Progress)
+	Note(Note)
 }
 
 // EmitSpan sends a completed span ending now to sink. A nil sink drops
@@ -101,6 +130,15 @@ func EmitSpan(sink Sink, phase string, start time.Time, c Counts) {
 		return
 	}
 	sink.Span(Span{Phase: phase, Start: start, Duration: time.Since(start), Counts: c})
+}
+
+// EmitNote sends a self-healing event to sink. A nil sink drops the
+// event, so callers need no sink-presence checks on retry paths.
+func EmitNote(sink Sink, kind, detail string, c Counts) {
+	if sink == nil {
+		return
+	}
+	sink.Note(Note{Kind: kind, Detail: detail, Counts: c})
 }
 
 // DefaultInterval is the progress sampling interval used when a run does
@@ -177,6 +215,16 @@ func (r *Run) Span(phase string, start time.Time) {
 		return
 	}
 	EmitSpan(r.sink, phase, start, r.read())
+}
+
+// Note emits a self-healing event (a retry, a degradation) carrying the
+// current counter state. Notes are never throttled — they are rare by
+// construction and each one matters for diagnosing a degraded run.
+func (r *Run) Note(kind, detail string) {
+	if r == nil {
+		return
+	}
+	EmitNote(r.sink, kind, detail, r.read())
 }
 
 // Finish emits the final progress snapshot (Final=true) and latches the

@@ -42,6 +42,12 @@ func (m multi) Progress(p Progress) {
 	}
 }
 
+func (m multi) Note(n Note) {
+	for _, sink := range m {
+		sink.Note(n)
+	}
+}
+
 // ProgressSink adapts a progress callback to a Sink that drops spans.
 func ProgressSink(f func(Progress)) Sink {
 	if f == nil {
@@ -54,6 +60,7 @@ type progressSink func(Progress)
 
 func (f progressSink) Span(Span)           {}
 func (f progressSink) Progress(p Progress) { f(p) }
+func (f progressSink) Note(Note)           {}
 
 // NewTextSink returns a sink writing one human-readable line per event
 // to w. Write errors are dropped: observability output never fails a
@@ -74,15 +81,17 @@ type writerSink struct {
 	json bool
 }
 
-// jsonEvent is the wire shape of both event kinds; zero-valued fields of
-// the other kind are omitted.
+// jsonEvent is the wire shape of all event kinds; zero-valued fields of
+// the other kinds are omitted.
 type jsonEvent struct {
 	Event string `json:"event"`
 	Phase string `json:"phase,omitempty"`
 	Start string `json:"start,omitempty"`
 	// Duration (spans) and Elapsed (progress) are nanoseconds.
-	Duration int64 `json:"duration,omitempty"`
-	Elapsed  int64 `json:"elapsed,omitempty"`
+	Duration int64  `json:"duration,omitempty"`
+	Elapsed  int64  `json:"elapsed,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+	Detail   string `json:"detail,omitempty"`
 	Counts
 	Final bool `json:"final,omitempty"`
 }
@@ -122,6 +131,22 @@ func (s *writerSink) Progress(p Progress) {
 	}
 	fmt.Fprintf(s.w, "progress elapsed=%s patterns=%d ops=%d checks=%d nodes=%d%s\n",
 		p.Elapsed.Round(time.Millisecond), p.Patterns, p.Ops, p.Checks, p.Nodes, final)
+}
+
+func (s *writerSink) Note(n Note) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.json {
+		s.encode(jsonEvent{
+			Event:  "note",
+			Kind:   n.Kind,
+			Detail: n.Detail,
+			Counts: n.Counts,
+		})
+		return
+	}
+	fmt.Fprintf(s.w, "note kind=%s detail=%q patterns=%d ops=%d checks=%d nodes=%d\n",
+		n.Kind, n.Detail, n.Patterns, n.Ops, n.Checks, n.Nodes)
 }
 
 func (s *writerSink) encode(e jsonEvent) {
@@ -197,12 +222,21 @@ func (s *expvarSink) Progress(p Progress) {
 	}
 }
 
+func (s *expvarSink) Note(n Note) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Accumulate per-kind event counts (retries, degradations, repairs)
+	// across runs, like the span metrics.
+	s.m.Add("note_"+n.Kind+"_count", 1)
+}
+
 // Recorder is an in-memory sink for tests: it stores every event in
 // arrival order under a mutex.
 type Recorder struct {
 	mu       sync.Mutex
 	spans    []Span
 	progress []Progress
+	notes    []Note
 }
 
 func (r *Recorder) Span(s Span) {
@@ -230,4 +264,18 @@ func (r *Recorder) Snapshots() []Progress {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]Progress(nil), r.progress...)
+}
+
+func (r *Recorder) Note(n Note) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.notes = append(r.notes, n)
+}
+
+// Notes returns a copy of the recorded self-healing events in arrival
+// order.
+func (r *Recorder) Notes() []Note {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Note(nil), r.notes...)
 }

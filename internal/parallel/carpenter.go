@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/carpenter"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
@@ -47,15 +48,21 @@ func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter)
 
 	ctl := mining.Guarded(opts.Done, opts.Guard)
 	pre := prep.Prepare(db, minsup, prep.Config{Items: opts.ItemOrder, Trans: opts.TransOrder})
-	return minePreparedCarpenter(pre, minsup, workers, opts.Done, opts.Guard, ctl, nil, rep)
+	return minePreparedCarpenter(pre, runCfg{
+		minsup: minsup, workers: workers,
+		done: opts.Done, g: opts.Guard, ctl: ctl, policy: opts.Retry,
+	}, rep)
 }
 
 // minePreparedCarpenter is the branch-parallel table Carpenter on an
-// already preprocessed database. done/g are needed separately from ctl
-// because each worker builds a private control on them (sharing ctl's
-// Counters, so worker work shows up in the run's stats and progress);
-// run, when non-nil, receives the merge-phase span.
-func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan struct{}, g *guard.Guard, ctl *mining.Control, run *obs.Run, rep result.Reporter) error {
+// already preprocessed database. cfg.done/cfg.g are needed separately
+// from cfg.ctl because each worker builds a private control on them
+// (sharing ctl's Counters, so worker work shows up in the run's stats
+// and progress); cfg.run, when non-nil, receives the merge-phase span;
+// cfg.policy, when enabled, supervises failed branch workers.
+func minePreparedCarpenter(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error {
+	minsup, workers := cfg.minsup, cfg.workers
+	done, g, ctl, run := cfg.done, cfg.g, cfg.ctl, cfg.run
 	if pre.DB.Items == 0 || len(pre.DB.Trans) < minsup {
 		return nil
 	}
@@ -96,14 +103,64 @@ func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan 
 		}(w)
 	}
 	wg.Wait()
-	if err := firstError(errs); err != nil {
-		return err
+
+	// Supervision: re-explore each failed worker's branch group
+	// sequentially per the retry policy — into a fresh merger, replacing
+	// the worker's partial one only on success, so a healed group
+	// contributes exactly once. A group that stays failed keeps its
+	// partial merger (every branch report is an intersection of
+	// transactions and hence genuinely closed, with its support a lower
+	// bound), and the run returns a typed partial result after emission.
+	// With the zero policy any failure aborts exactly as before; a
+	// deliberate stop aborts even with healing on.
+	if !cfg.policy.Enabled() {
+		if err := firstError(errs); err != nil {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil && stops(err) {
+			return err
+		}
+	}
+	var shardErrs []engine.ShardError
+	degraded := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] == nil {
+			continue
+		}
+		healed, serr, stop := cfg.supervise("branch group", w, true, errs[w], func() (err error) {
+			defer guard.Recover(&err)
+			m := result.NewMaxMerger()
+			worker := brancher.NewWorker(done, g, counters, result.ReporterFunc(
+				func(items itemset.Set, supp int) { m.Add(items, supp) }))
+			for b := w; b < len(branches); b += workers {
+				if e := worker.Explore(branches[b]); e != nil {
+					return e
+				}
+			}
+			merged[w] = m
+			return nil
+		})
+		switch {
+		case stop != nil:
+			return stop
+		case !healed:
+			shardErrs = append(shardErrs, *serr)
+			degraded++
+		}
+	}
+	if degraded == workers {
+		return &engine.PartialError{Shards: shardErrs}
 	}
 
 	// Fold the per-worker merges into one and emit canonically.
 	mergeStart := time.Now()
 	total := result.NewMaxMerger()
 	for _, m := range merged {
+		if m == nil {
+			continue
+		}
 		m.Emit(1, result.ReporterFunc(func(items itemset.Set, supp int) {
 			total.Add(items, supp)
 		}))
@@ -113,5 +170,8 @@ func minePreparedCarpenter(pre *prep.Prepared, minsup, workers int, done <-chan 
 	}
 	total.Emit(minsup, rep)
 	run.Span(obs.PhaseMerge, mergeStart)
+	if len(shardErrs) > 0 {
+		return &engine.PartialError{Shards: shardErrs}
+	}
 	return nil
 }

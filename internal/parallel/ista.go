@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
@@ -41,15 +42,22 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 
 	ctl := mining.Guarded(opts.Done, opts.Guard)
 	pre := prep.Prepare(db, minsup, prep.Config{Items: opts.ItemOrder, Trans: opts.TransOrder})
-	return minePreparedIsTa(pre, minsup, workers, opts.Done, opts.Guard, ctl, nil, rep)
+	return minePreparedIsTa(pre, runCfg{
+		minsup: minsup, workers: workers,
+		done: opts.Done, g: opts.Guard, ctl: ctl, policy: opts.Retry,
+	}, rep)
 }
 
 // minePreparedIsTa is the sharded IsTa engine on an already preprocessed
-// database. done/g are needed separately from ctl because each worker
-// builds a private control on them (sharing ctl's Counters, so worker
-// work shows up in the run's stats and progress); run, when non-nil,
-// receives the merge-phase span.
-func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struct{}, g *guard.Guard, ctl *mining.Control, run *obs.Run, rep result.Reporter) error {
+// database. cfg.done/cfg.g are needed separately from cfg.ctl because
+// each worker builds a private control on them (sharing ctl's Counters,
+// so worker work shows up in the run's stats and progress); cfg.run,
+// when non-nil, receives the merge-phase span; cfg.policy, when
+// enabled, supervises failed shards (sequential re-mines, then
+// degradation to a typed partial result).
+func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error {
+	minsup, workers := cfg.minsup, cfg.workers
+	done, g, ctl, run := cfg.done, cfg.g, cfg.ctl, cfg.run
 	pdb := pre.DB
 	if pdb.Items == 0 {
 		return nil
@@ -91,8 +99,61 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 		}(w)
 	}
 	wg.Wait()
-	if err := firstError(errs); err != nil {
-		return err
+
+	// Supervision (the degradation ladder): re-mine each failed shard
+	// sequentially per the retry policy; a shard that stays failed is
+	// abandoned and the run continues over the covered shards only,
+	// returning a typed partial result at the end. With the zero policy
+	// any failure aborts the run exactly as before (panic containment
+	// first, then first worker order). A deliberate stop anywhere aborts
+	// even with healing on — retrying others would only re-observe the
+	// latched cancellation or budget trip.
+	if !cfg.policy.Enabled() {
+		if err := firstError(errs); err != nil {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil && stops(err) {
+			return err
+		}
+	}
+	covered := make([]bool, workers)
+	for w := range covered {
+		covered[w] = errs[w] == nil
+	}
+	var shardErrs []engine.ShardError
+	for w := 0; w < workers; w++ {
+		if errs[w] == nil {
+			continue
+		}
+		healed, serr, stop := cfg.supervise("shard", w, true, errs[w], func() (err error) {
+			defer guard.Recover(&err)
+			floor := minsup - (n - len(shards[w]))
+			if floor < 1 {
+				floor = 1
+			}
+			var e error
+			patterns[w], e = mineShard(pdb.Items, shards[w], floor, done, g, counters)
+			if err == nil {
+				err = e
+			}
+			return err
+		})
+		switch {
+		case stop != nil:
+			return stop
+		case healed:
+			covered[w] = true
+		default:
+			shardErrs = append(shardErrs, *serr)
+		}
+	}
+	if len(shardErrs) == workers {
+		// Nothing survived: no covered sub-database exists, so there is no
+		// valid result prefix to build. Report the loss without touching
+		// the merge phases.
+		return &engine.PartialError{Shards: shardErrs}
 	}
 	mergeStart := time.Now()
 
@@ -132,6 +193,9 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 		}
 	}
 	for w, shard := range patterns {
+		if !covered[w] {
+			continue
+		}
 		if len(shard) >= len(shards[w]) {
 			for _, t := range shards[w] {
 				addReplay(t, 1)
@@ -189,12 +253,25 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 	}
 
 	// Phase 3: recompute every candidate's support exactly against the
-	// prepared database (vertical tid-list intersection with an early exit
-	// once the running count drops below minsup), fanned out across the
-	// workers again. Candidates are fixed before the fan-out and results
-	// land in a preallocated slice, so scheduling cannot affect the
-	// outcome.
-	vert := pdb.ToVertical()
+	// covered transactions (vertical tid-list intersection with an early
+	// exit once the running count drops below minsup), fanned out across
+	// the workers again. Candidates are fixed before the fan-out and
+	// results land in a preallocated slice, so scheduling cannot affect
+	// the outcome. In a degraded run the vertical view holds only the
+	// surviving shards' transactions, so every computed support is exact
+	// over the covered sub-database — a lower bound on the true support.
+	var vert *dataset.Vertical
+	if len(shardErrs) == 0 {
+		vert = pdb.ToVertical()
+	} else {
+		var covTrans []itemset.Set
+		for w := range shards {
+			if covered[w] {
+				covTrans = append(covTrans, shards[w]...)
+			}
+		}
+		vert = dataset.New(covTrans, pdb.Items).ToVertical()
+	}
 	supp := make([]int, len(cands))
 	countErrs := make([]error, workers)
 	for w := 0; w < workers; w++ {
@@ -202,22 +279,28 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 		go func(w int) {
 			defer wg.Done()
 			defer guard.Recover(&countErrs[w])
-			wctl := mining.GuardedCounted(done, g, counters)
-			var bufs [2][]int32
-			for i := w; i < len(cands); i += workers {
-				if err := wctl.Tick(); err != nil {
-					countErrs[w] = err
-					return
-				}
-				wctl.CountOps(1) // one exact candidate recount
-				supp[i] = countSupport(vert, cands[i], minsup, &bufs)
-			}
-			wctl.Flush()
+			countErrs[w] = countStripe(vert, cands, supp, w, workers, minsup, done, g, counters)
 		}(w)
 	}
 	wg.Wait()
-	if err := firstError(countErrs); err != nil {
-		return err
+	// Recount failures are retried sequentially too, but never degraded:
+	// dropping a recount stripe would leave candidate supports unknown,
+	// breaking the exactness the closedness filter depends on, so a
+	// stripe that stays failed aborts the run.
+	for w := 0; w < workers; w++ {
+		if countErrs[w] == nil {
+			continue
+		}
+		healed, _, stop := cfg.supervise("recount stripe", w, false, countErrs[w], func() (err error) {
+			defer guard.Recover(&err)
+			if e := countStripe(vert, cands, supp, w, workers, minsup, done, g, counters); err == nil {
+				err = e
+			}
+			return err
+		})
+		if !healed {
+			return stop
+		}
 	}
 
 	// Phase 4: drop infrequent candidates and filter out the non-closed
@@ -238,6 +321,30 @@ func minePreparedIsTa(pre *prep.Prepared, minsup, workers int, done <-chan struc
 		rep.Report(pre.DecodeSet(s), support)
 	}))
 	run.Span(obs.PhaseMerge, mergeStart)
+	if len(shardErrs) > 0 {
+		// Everything reported above is valid — closed in the full database
+		// (each pattern is an intersection of covered transactions) with
+		// exact covered-sub-database support — but coverage is partial.
+		return &engine.PartialError{Shards: shardErrs}
+	}
+	return nil
+}
+
+// countStripe recomputes the exact supports of the candidates assigned
+// to worker stripe w (every workers-th candidate starting at w) against
+// the vertical view. Re-running a stripe is idempotent — supports land
+// in preassigned slots — which is what lets the supervisor retry it.
+func countStripe(vert *dataset.Vertical, cands []itemset.Set, supp []int, w, workers, minsup int, done <-chan struct{}, g *guard.Guard, counters *mining.Counters) error {
+	wctl := mining.GuardedCounted(done, g, counters)
+	var bufs [2][]int32
+	for i := w; i < len(cands); i += workers {
+		if err := wctl.Tick(); err != nil {
+			return err
+		}
+		wctl.CountOps(1) // one exact candidate recount
+		supp[i] = countSupport(vert, cands[i], minsup, &bufs)
+	}
+	wctl.Flush()
 	return nil
 }
 

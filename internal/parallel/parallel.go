@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/prep"
+	"repro/internal/retry"
 )
 
 // Options configures the parallel miners.
@@ -48,6 +49,11 @@ type Options struct {
 	// apply to the run as a whole, the node budget to each worker's
 	// private tree/repository. May be nil.
 	Guard *guard.Guard
+	// Retry enables the self-healing supervisor: a failed shard or branch
+	// worker is re-mined sequentially up to Retry.MaxAttempts times, then
+	// abandoned into a typed partial result (*engine.PartialError). The
+	// zero value keeps fail-stop behavior.
+	Retry retry.Policy
 }
 
 // firstError folds a per-worker error slice into the error the engine

@@ -21,7 +21,11 @@ func init() {
 			reg, _ := engine.Lookup("ista")
 			return reg.Mine(pre, spec, rep)
 		}
-		return minePreparedIsTa(pre, spec.MinSupport, workers, spec.Done, spec.Guard, spec.Control(), spec.Observer(), rep)
+		return minePreparedIsTa(pre, runCfg{
+			minsup: spec.MinSupport, workers: workers,
+			done: spec.Done, g: spec.Guard,
+			ctl: spec.Control(), run: spec.Observer(), policy: spec.Retry,
+		}, rep)
 	})
 	engine.RegisterParallel("carpenter-table", func(pre *prep.Prepared, spec *engine.Spec, rep result.Reporter) error {
 		workers := spec.Workers
@@ -32,6 +36,10 @@ func init() {
 			reg, _ := engine.Lookup("carpenter-table")
 			return reg.Mine(pre, spec, rep)
 		}
-		return minePreparedCarpenter(pre, spec.MinSupport, workers, spec.Done, spec.Guard, spec.Control(), spec.Observer(), rep)
+		return minePreparedCarpenter(pre, runCfg{
+			minsup: spec.MinSupport, workers: workers,
+			done: spec.Done, g: spec.Guard,
+			ctl: spec.Control(), run: spec.Observer(), policy: spec.Retry,
+		}, rep)
 	})
 }

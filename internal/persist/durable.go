@@ -11,6 +11,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/obs"
 	"repro/internal/result"
+	"repro/internal/retry"
 )
 
 // Options configures a Durable store.
@@ -38,9 +39,22 @@ type Options struct {
 	FS FS
 	// Obs, when non-nil, receives a span for every recovery (phase
 	// "recover", on Open), snapshot write ("snapshot") and WAL rotation
-	// ("rotate"), each carrying the prefix-tree node count. Nil costs
-	// nothing.
+	// ("rotate"), each carrying the prefix-tree node count, plus a note
+	// for every retry and repair action. Nil costs nothing.
 	Obs obs.Sink
+	// Retry, when enabled, re-runs transient snapshot-write and
+	// WAL-rotation I/O failures (classified by retry.IsTransient) before
+	// latching the store. WAL appends are never retried — a failed append
+	// may have left a torn tail, and appending again after it would frame
+	// a gap — and fsync failures are always fail-stop (the kernel page
+	// cache state is unknowable after one).
+	Retry retry.Policy
+	// Repair, when set, lets Open quarantine a corrupt newest snapshot
+	// (rename it aside with QuarantineSuffix) once recovery has succeeded
+	// from an older generation, so the next open does not trip over it
+	// again. The quarantine never runs when recovery failed outright —
+	// the damaged files are then the only evidence left.
+	Repair bool
 }
 
 func (o *Options) fill() {
@@ -71,16 +85,17 @@ func (o *Options) fill() {
 // ClosedSet) keep working on the state mined so far even after a write
 // fault.
 type Durable struct {
-	fs    FS
-	dir   string
-	opt   Options
-	m     *core.Incremental
-	wal   *walWriter
-	dirty int    // appends since the last WAL sync
-	since int    // transactions since the last snapshot
-	snap  uint64 // step of the newest durable snapshot
-	snaps int    // snapshots written by this handle
-	err   error  // latched fatal error
+	fs     FS
+	dir    string
+	opt    Options
+	m      *core.Incremental
+	wal    *walWriter
+	dirty  int    // appends since the last WAL sync
+	since  int    // transactions since the last snapshot
+	snap   uint64 // step of the newest durable snapshot
+	snaps  int    // snapshots written by this handle
+	err    error  // latched fatal error
+	report RepairReport
 }
 
 // Open opens (creating if necessary) a durable store in dir, recovering
@@ -98,10 +113,17 @@ func Open(dir string, opt Options) (*Durable, error) {
 	if err != nil {
 		return nil, err
 	}
+	var report RepairReport
 	var snaps, wals []uint64
 	for _, name := range names {
 		if strings.HasSuffix(name, ".tmp") {
-			fs.Remove(join(dir, name)) // stale atomic-write leftovers
+			// Stale atomic-write leftovers: a crash trace, never durable
+			// state. Record the sweep so the caller can see the store
+			// healed itself.
+			if fs.Remove(join(dir, name)) == nil {
+				report.SweptTemp = append(report.SweptTemp, name)
+				obs.EmitNote(opt.Obs, obs.NoteRepair, fmt.Sprintf("swept orphan %s", name), obs.Counts{})
+			}
 			continue
 		}
 		if step, ok := parseSnapName(name); ok {
@@ -114,17 +136,38 @@ func Open(dir string, opt Options) (*Durable, error) {
 	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
 
 	recoverStart := time.Now()
-	m, snapStep, err := recoverState(fs, dir, opt, snaps, wals)
+	m, snapStep, skipped, err := recoverState(fs, dir, opt, snaps, wals)
+	report.Skipped = skipped
 	if err != nil {
+		// Recovery failed outright: no quarantine — the damaged files are
+		// the only evidence left, and renaming them would not make the
+		// next open succeed either.
 		return nil, err
 	}
+	if opt.Repair {
+		// Recovery succeeded from an older generation; move unreadable
+		// newer snapshots aside so the next open starts at the good one.
+		for _, s := range skipped {
+			if !s.badSnap {
+				continue
+			}
+			if fs.Rename(join(dir, s.Name), join(dir, s.Name+QuarantineSuffix)) == nil {
+				report.Quarantined = append(report.Quarantined, s.Name+QuarantineSuffix)
+				obs.EmitNote(opt.Obs, obs.NoteRepair, fmt.Sprintf("quarantined %s", s.Name), obs.Counts{})
+			}
+		}
+	}
 	obs.EmitSpan(opt.Obs, obs.PhaseRecover, recoverStart, obs.Counts{Nodes: int64(m.NodeCount())})
-	d := &Durable{fs: fs, dir: dir, opt: opt, m: m, snap: snapStep}
+	d := &Durable{fs: fs, dir: dir, opt: opt, m: m, snap: snapStep, report: report}
 	// Start a fresh active segment at the recovered step. If a segment
 	// with this base already exists it holds no durable records beyond
 	// the recovered state (or recovery would have advanced past it), so
 	// truncating it is safe.
-	d.wal, err = createWAL(fs, dir, m.Items(), uint64(m.Transactions()))
+	err = d.retryIO("open rotate", func() error {
+		var werr error
+		d.wal, werr = createWAL(fs, dir, m.Items(), uint64(m.Transactions()))
+		return werr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -132,36 +175,46 @@ func Open(dir string, opt Options) (*Durable, error) {
 	return d, nil
 }
 
+// retryIO runs one snapshot/rotation I/O operation under the store's
+// retry policy, counting re-attempts and emitting retry notes. With the
+// zero policy it is exactly op().
+func (d *Durable) retryIO(what string, op func() error) error {
+	return d.opt.Retry.Do(nil, func(attempt int, err error) {
+		d.report.Retried++
+		obs.EmitNote(d.opt.Obs, obs.NoteRetry,
+			fmt.Sprintf("%s attempt %d after: %v", what, attempt, err),
+			obs.Counts{Nodes: int64(d.m.NodeCount())})
+	}, op)
+}
+
 // recoverState rebuilds the miner from the newest usable snapshot plus
 // the WAL tail, falling back to older snapshots if the newest cannot be
-// read, and finally to an empty state replayed from the full log.
-func recoverState(fs FS, dir string, opt Options, snaps, wals []uint64) (*core.Incremental, uint64, error) {
+// read, and finally to an empty state replayed from the full log. Every
+// generation passed over lands in skipped (newest first) with the
+// failure that disqualified it, whether or not recovery eventually
+// succeeds.
+func recoverState(fs FS, dir string, opt Options, snaps, wals []uint64) (m *core.Incremental, step uint64, skipped []GenerationSkip, err error) {
 	if len(snaps) == 0 && len(wals) == 0 {
 		// A brand new store.
 		if opt.Items < 0 || opt.Items > MaxItems {
-			return nil, 0, fmt.Errorf("persist: item universe %d outside [0,%d]", opt.Items, MaxItems)
+			return nil, 0, nil, fmt.Errorf("persist: item universe %d outside [0,%d]", opt.Items, MaxItems)
 		}
-		return core.NewIncremental(opt.Items), 0, nil
+		return core.NewIncremental(opt.Items), 0, nil, nil
 	}
-	var firstErr error
 	for _, step := range snaps {
 		m, err := readSnapshotFile(fs, dir, snapName(step))
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+			skipped = append(skipped, GenerationSkip{Name: snapName(step), Err: err, badSnap: true})
 			continue
 		}
 		if err := replayWAL(fs, dir, m, wals); err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+			skipped = append(skipped, GenerationSkip{Name: snapName(step), Err: fmt.Errorf("replay: %w", err)})
 			continue
 		}
 		if err := checkUniverse(opt.Items, m.Items()); err != nil {
-			return nil, 0, err
+			return nil, 0, skipped, err
 		}
-		return m, step, nil
+		return m, step, skipped, nil
 	}
 	// No readable snapshot: only recoverable if the log reaches back to
 	// the beginning of the stream.
@@ -172,31 +225,32 @@ func recoverState(fs FS, dir string, opt Options, snaps, wals []uint64) (*core.I
 			m := core.NewIncremental(int(hdr.items))
 			if err := replayWAL(fs, dir, m, wals); err == nil {
 				if err := checkUniverse(opt.Items, m.Items()); err != nil {
-					return nil, 0, err
+					return nil, 0, skipped, err
 				}
-				return m, 0, nil
-			} else if firstErr == nil {
-				firstErr = err
+				return m, 0, skipped, nil
+			} else {
+				skipped = append(skipped, GenerationSkip{Name: walName(wals[0]), Err: fmt.Errorf("replay: %w", err)})
 			}
 		case err == nil && len(snaps) == 0 && len(wals) == 1:
 			// The store crashed while writing its very first segment
 			// header: nothing was ever durable, so this is a brand-new
 			// store, not data loss.
 			if opt.Items < 0 || opt.Items > MaxItems {
-				return nil, 0, fmt.Errorf("persist: item universe %d outside [0,%d]", opt.Items, MaxItems)
+				return nil, 0, skipped, fmt.Errorf("persist: item universe %d outside [0,%d]", opt.Items, MaxItems)
 			}
-			return core.NewIncremental(opt.Items), 0, nil
-		case err != nil && firstErr == nil:
-			firstErr = err
+			return core.NewIncremental(opt.Items), 0, skipped, nil
+		case err != nil:
+			skipped = append(skipped, GenerationSkip{Name: walName(wals[0]), Err: err})
 		}
 	}
-	if firstErr == nil {
-		firstErr = corruptf("persist: no usable snapshot or log in %s", dir)
+	firstErr := corruptf("persist: no usable snapshot or log in %s", dir)
+	if len(skipped) > 0 {
+		firstErr = skipped[0].Err
 	}
 	if !errors.Is(firstErr, ErrCorrupt) {
 		firstErr = fmt.Errorf("%v: %w", firstErr, ErrCorrupt)
 	}
-	return nil, 0, firstErr
+	return nil, 0, skipped, firstErr
 }
 
 func checkUniverse(want, have int) error {
@@ -321,7 +375,11 @@ func (d *Durable) Snapshot() error {
 		return nil // the durable snapshot already covers this state
 	}
 	snapStart := time.Now()
-	if _, err := writeSnapshotFile(d.fs, d.dir, d.m); err != nil {
+	err := d.retryIO("snapshot", func() error {
+		_, werr := writeSnapshotFile(d.fs, d.dir, d.m)
+		return werr
+	})
+	if err != nil {
 		return d.fail(err)
 	}
 	obs.EmitSpan(d.opt.Obs, obs.PhaseSnapshot, snapStart, obs.Counts{Nodes: int64(d.m.NodeCount())})
@@ -329,7 +387,12 @@ func (d *Durable) Snapshot() error {
 	// segment. Open the new segment before closing the old one so a
 	// failure in between cannot leave the store without an active log.
 	rotateStart := time.Now()
-	neww, err := createWAL(d.fs, d.dir, d.m.Items(), step)
+	var neww *walWriter
+	err = d.retryIO("rotate", func() error {
+		var werr error
+		neww, werr = createWAL(d.fs, d.dir, d.m.Items(), step)
+		return werr
+	})
 	if err != nil {
 		return d.fail(err)
 	}
@@ -419,10 +482,13 @@ func (d *Durable) Close() error {
 	return nil
 }
 
-// fail latches the store's first fatal error.
+// fail latches the store's first fatal error. The latched error is
+// marked permanent regardless of any transient classification beneath:
+// once the store has fail-stopped, re-attempting the operation cannot
+// succeed, so surfacing it as retryable would only mislead supervisors.
 func (d *Durable) fail(err error) error {
 	if d.err == nil {
-		d.err = fmt.Errorf("persist: store failed: %w", err)
+		d.err = retry.MarkPermanent(fmt.Errorf("persist: store failed: %w", err))
 	}
 	return d.err
 }
@@ -442,6 +508,15 @@ func (d *Durable) NodeCount() int { return d.m.NodeCount() }
 // Snapshots returns the number of snapshots (each with its WAL rotation)
 // this handle has written; recovery on Open does not count.
 func (d *Durable) Snapshots() int { return d.snaps }
+
+// RepairReport returns what the self-healing machinery did for this
+// handle: temp files swept and generations skipped or quarantined on
+// open, plus transient I/O retries performed since.
+func (d *Durable) RepairReport() RepairReport { return d.report }
+
+// Retries returns the number of transient I/O operations this handle
+// re-ran under Options.Retry.
+func (d *Durable) Retries() int { return d.report.Retried }
 
 // Closed reports the closed item sets of the transactions added so far
 // whose support reaches minSupport (queries work even after a write

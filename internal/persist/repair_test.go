@@ -1,0 +1,297 @@
+// Auto-repair conformance for the durable store, from outside the
+// package (faultinject imports persist, so these tests live in
+// persist_test to use both): the startup sweep of orphaned temp files,
+// quarantine of damaged snapshot generations, transient-I/O retry, and
+// the fsync fail-stop veto.
+package persist_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/itemset"
+	"repro/internal/persist"
+	"repro/internal/retry"
+)
+
+func repairStream(items, n int) []itemset.Set {
+	out := make([]itemset.Set, n)
+	for i := range out {
+		out[i] = itemset.FromInts(i%items, (i*3+1)%items, (i*7+2)%items)
+	}
+	return out
+}
+
+func repairSnapName(step uint64) string { return fmt.Sprintf("snap-%016d.ista", step) }
+
+// TestRepairSweepOrphanTemps proves the startup sweep: stale .tmp files
+// — including one that is byte-for-byte a valid snapshot — are removed
+// on open, reported in the RepairReport, and never mistaken for a
+// generation.
+func TestRepairSweepOrphanTemps(t *testing.T) {
+	const items, n = 8, 12
+	trans := repairStream(items, n)
+	dir := t.TempDir()
+
+	d, err := persist.Open(dir, persist.Options{Items: items, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trans {
+		if err := d.AddSet(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant orphans: garbage temp files and — the trap — a copy of the
+	// real snapshot under a .tmp name claiming a much later step. If the
+	// sweep ever parsed temp names as generations, recovery would jump to
+	// step 9000 and the transaction count below would expose it.
+	snapBytes, err := os.ReadFile(filepath.Join(dir, repairSnapName(uint64(n))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{
+		repairSnapName(9000) + ".tmp",
+		"wal-0000000000009000.log.tmp",
+		"snap-garbage.tmp",
+	}
+	for _, name := range orphans {
+		body := []byte("leftover")
+		if strings.HasPrefix(name, "snap-0") {
+			body = snapBytes
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d, err = persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if got := d.Transactions(); got != n {
+		t.Fatalf("recovered %d transactions, want %d (a temp file was treated as state)", got, n)
+	}
+	rep := d.RepairReport()
+	if len(rep.SweptTemp) != len(orphans) {
+		t.Fatalf("report lists %d swept temps %v, want %d", len(rep.SweptTemp), rep.SweptTemp, len(orphans))
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(dir, name)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("orphan %s survived the sweep (stat err = %v)", name, err)
+		}
+	}
+	if len(rep.Skipped) != 0 || len(rep.Quarantined) != 0 {
+		t.Errorf("sweep-only open reports skips/quarantines: %s", rep.String())
+	}
+}
+
+// TestRepairQuarantine damages the newest snapshot and requires recovery
+// to fall back a generation; with Repair set the damaged file is renamed
+// aside (and invisible to the next open), without Repair it stays put —
+// either way nothing durable is lost and the report says what happened.
+func TestRepairQuarantine(t *testing.T) {
+	const items, n = 9, 27
+	trans := repairStream(items, n)
+
+	for _, repair := range []bool{true, false} {
+		t.Run(fmt.Sprintf("repair=%v", repair), func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := persist.Open(dir, persist.Options{Items: items, SnapshotEvery: 10, Keep: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tr := range trans {
+				if err := d.AddSet(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Snapshots exist at steps 10 and 20; corrupt the newest.
+			bad := repairSnapName(20)
+			if err := faultinject.FlipBit(filepath.Join(dir, bad), 40, 3); err != nil {
+				t.Fatal(err)
+			}
+
+			d, err = persist.Open(dir, persist.Options{Repair: repair})
+			if err != nil {
+				t.Fatalf("fallback recovery failed: %v", err)
+			}
+			if got := d.Transactions(); got != n {
+				t.Fatalf("recovered %d transactions, want %d", got, n)
+			}
+			rep := d.RepairReport()
+			if len(rep.Skipped) == 0 {
+				t.Fatalf("report shows no skipped generation: %s", rep.String())
+			}
+			if !strings.Contains(rep.Skipped[0].String(), bad) {
+				t.Errorf("skip report %q does not name %s", rep.Skipped[0].String(), bad)
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			_, statBad := os.Stat(filepath.Join(dir, bad))
+			_, statQuar := os.Stat(filepath.Join(dir, bad+persist.QuarantineSuffix))
+			if repair {
+				if len(rep.Quarantined) != 1 || rep.Quarantined[0] != bad+persist.QuarantineSuffix {
+					t.Errorf("report quarantined %v, want [%s]", rep.Quarantined, bad+persist.QuarantineSuffix)
+				}
+				if !errors.Is(statBad, os.ErrNotExist) || statQuar != nil {
+					t.Errorf("quarantine did not rename %s aside (orig err %v, quarantined err %v)", bad, statBad, statQuar)
+				}
+			} else {
+				if len(rep.Quarantined) != 0 {
+					t.Errorf("Repair off but report quarantined %v", rep.Quarantined)
+				}
+				if statBad != nil || !errors.Is(statQuar, os.ErrNotExist) {
+					t.Errorf("Repair off but %s was moved (orig err %v, quarantined err %v)", bad, statBad, statQuar)
+				}
+			}
+
+			// The next open must recover identically again (from the
+			// quarantined layout or past the still-present damage).
+			d, err = persist.Open(dir, persist.Options{})
+			if err != nil {
+				t.Fatalf("re-open after repair=%v failed: %v", repair, err)
+			}
+			if got := d.Transactions(); got != n {
+				t.Errorf("second recovery holds %d transactions, want %d", got, n)
+			}
+			d.Close()
+		})
+	}
+}
+
+// TestRepairTransientIOSweep injects one transient fault at every
+// mutating file-system operation of an explicit Snapshot, with retry
+// enabled. Each position must land in one of exactly two documented
+// outcomes: the retry heals it (Snapshot succeeds, Retries counts it,
+// nothing is lost) or the fault hit an fsync and the permanent-mark veto
+// keeps the store fail-stop (Snapshot fails, the store latches, and a
+// reopen still recovers every WAL-durable transaction). The sweep
+// asserts both outcomes occur, so the retry path and the veto are each
+// demonstrably exercised.
+func TestRepairTransientIOSweep(t *testing.T) {
+	const items, n = 8, 8
+	trans := repairStream(items, n)
+
+	session := func(dir string, fs persist.FS, pol retry.Policy) (*persist.Durable, error) {
+		d, err := persist.Open(dir, persist.Options{
+			Items: items, SnapshotEvery: -1, FS: fs, Retry: pol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range trans {
+			if err := d.AddSet(tr); err != nil {
+				d.Close()
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+
+	// Calibrate: count the mutating ops before and after the Snapshot
+	// call on a clean run, so faults are injected only inside it.
+	count := faultinject.NewFaultFS(persist.OS, 0, false)
+	d, err := session(t.TempDir(), count, retry.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := count.Ops()
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	after := count.Ops()
+	d.Close()
+	if after <= before {
+		t.Fatalf("snapshot performed no mutating ops (%d..%d)", before, after)
+	}
+
+	var healed, latched int
+	for failAt := before + 1; failAt <= after; failAt++ {
+		dir := t.TempDir()
+		fs := faultinject.NewTransientFaultFS(persist.OS, failAt)
+		d, err := session(dir, fs, retry.Policy{MaxAttempts: 3})
+		if err != nil {
+			t.Fatalf("failAt=%d: fault fired before the snapshot phase: %v", failAt, err)
+		}
+		serr := d.Snapshot()
+		switch {
+		case serr == nil:
+			healed++
+			if d.Retries() < 1 {
+				t.Errorf("failAt=%d: snapshot healed without counting a retry", failAt)
+			}
+			if err := d.Close(); err != nil {
+				t.Errorf("failAt=%d: close after healed snapshot: %v", failAt, err)
+			}
+		case errors.Is(serr, faultinject.ErrIO):
+			latched++
+			if d.Err() == nil {
+				t.Errorf("failAt=%d: snapshot failed but the store did not latch", failAt)
+			}
+			if retry.IsTransient(serr) {
+				t.Errorf("failAt=%d: surfaced error still classified transient — the fsync veto failed: %v", failAt, serr)
+			}
+			d.Close()
+		default:
+			t.Fatalf("failAt=%d: unexpected snapshot error: %v", failAt, serr)
+		}
+
+		// Either way, everything acknowledged before the snapshot is
+		// WAL-durable and must recover.
+		d2, err := persist.Open(dir, persist.Options{})
+		if err != nil {
+			t.Fatalf("failAt=%d: reopen failed: %v", failAt, err)
+		}
+		if got := d2.Transactions(); got != n {
+			t.Errorf("failAt=%d: reopen holds %d transactions, want %d", failAt, got, n)
+		}
+		d2.Close()
+	}
+	if healed == 0 || latched == 0 {
+		t.Fatalf("sweep exercised healed=%d latched=%d positions, want both nonzero", healed, latched)
+	}
+}
+
+// TestRepairOpenRetry pins that the retry policy also covers the open
+// rotation: a transient fault on the fresh segment's creation is healed
+// and reported through the handle's counters.
+func TestRepairOpenRetry(t *testing.T) {
+	const items = 6
+	dir := t.TempDir()
+
+	// MkdirAll is op 1; the open rotation's create is op 2.
+	fs := faultinject.NewTransientFaultFS(persist.OS, 2)
+	d, err := persist.Open(dir, persist.Options{
+		Items: items, FS: fs, Retry: retry.Policy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatalf("open with transient rotate fault failed: %v", err)
+	}
+	defer d.Close()
+	if d.Retries() < 1 {
+		t.Fatalf("Retries() = %d, want >= 1", d.Retries())
+	}
+	if err := d.Add(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package retry holds the self-healing runtime's retry policies and
+// error classification. A Policy bounds how often a failed operation may
+// be re-attempted and how long to back off between attempts (capped
+// exponential growth with deterministic, seeded jitter — two runs with
+// the same seed sleep the same schedule, which keeps fault-injection
+// tests reproducible).
+//
+// Classification is interface-driven: an error is retryable only when
+// something in its chain implements `Transient() bool` and answers true.
+// The outermost marker wins, so a layer that knows better can veto an
+// inner classification — internal/persist wraps fsync failures with
+// MarkPermanent even when a fault injector marked them transient,
+// because a failed fsync leaves the kernel page cache in an unknown
+// state and must stay fail-stop. Deliberate stops (cancellation,
+// deadlines, budget trips) never implement the interface and are
+// therefore permanent by construction.
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Transienter is implemented by errors that know whether the condition
+// they report is worth retrying. Wrap with MarkTransient / MarkPermanent
+// to attach the classification to an arbitrary error.
+type Transienter interface {
+	Transient() bool
+}
+
+// IsTransient reports whether err is classified retryable: the first
+// (outermost) error in the chain implementing Transienter decides, and
+// an unclassified chain is permanent.
+func IsTransient(err error) bool {
+	var t Transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// marked attaches a Transient classification to an error chain.
+type marked struct {
+	err       error
+	transient bool
+}
+
+func (m *marked) Error() string   { return m.err.Error() }
+func (m *marked) Unwrap() error   { return m.err }
+func (m *marked) Transient() bool { return m.transient }
+
+// MarkTransient classifies err as retryable. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &marked{err: err, transient: true}
+}
+
+// MarkPermanent classifies err as not retryable, overriding any
+// transient marker deeper in the chain (the outermost marker wins).
+// A nil err stays nil.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &marked{err: err, transient: false}
+}
+
+// Policy bounds the retries of a failing operation. The zero value
+// disables retrying entirely (Enabled reports false), which is the
+// default everywhere: healing is strictly opt-in.
+type Policy struct {
+	// MaxAttempts is the number of re-attempts after the initial failure;
+	// values <= 0 disable retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt up to MaxDelay. Zero sleeps not at all (the common choice
+	// for in-process re-mining, where the failed work is CPU-bound and
+	// waiting buys nothing).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; 0 selects 64 × BaseDelay.
+	MaxDelay time.Duration
+	// Seed drives the deterministic jitter: the delay before attempt k is
+	// drawn from [delay/2, delay) by a PRNG seeded with Seed and k, so
+	// equal seeds back off identically. With Seed 0 the jitter is still
+	// deterministic (seeded with 0).
+	Seed int64
+}
+
+// Enabled reports whether the policy allows any retry.
+func (p Policy) Enabled() bool { return p.MaxAttempts > 0 }
+
+// Backoff returns the delay to wait before retry attempt (1-based):
+// capped exponential growth from BaseDelay with deterministic seeded
+// jitter in [delay/2, delay). A zero BaseDelay returns 0.
+func (p Policy) Backoff(attempt int) time.Duration {
+	if p.BaseDelay <= 0 || attempt < 1 {
+		return 0
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 64 * p.BaseDelay
+	}
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Equal jitter, deterministically derived from (Seed, attempt).
+	rng := rand.New(rand.NewSource(p.Seed ^ int64(uint64(attempt)*0x9e3779b97f4a7c15)))
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rng.Int63n(half))
+}
+
+// Sleep blocks for the attempt's backoff delay, returning early with
+// false if done closes first. It returns true when the caller should
+// proceed with the retry.
+func (p Policy) Sleep(done <-chan struct{}, attempt int) bool {
+	d := p.Backoff(attempt)
+	if d <= 0 {
+		select {
+		case <-done:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Do runs op, retrying per the policy while the failure classifies as
+// transient (IsTransient). onRetry, when non-nil, is invoked before each
+// re-attempt with the 1-based attempt number and the error being
+// retried. Do returns nil on the first success and the last error once
+// attempts are exhausted, the error turns permanent, or done closes
+// during a backoff sleep.
+func (p Policy) Do(done <-chan struct{}, onRetry func(attempt int, err error), op func() error) error {
+	err := op()
+	if err == nil || !p.Enabled() {
+		return err
+	}
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if !IsTransient(err) {
+			return err
+		}
+		if !p.Sleep(done, attempt) {
+			return err
+		}
+		if onRetry != nil {
+			onRetry(attempt, err)
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}

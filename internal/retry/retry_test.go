@@ -1,0 +1,128 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestClassification(t *testing.T) {
+	base := errors.New("boom")
+	if IsTransient(base) {
+		t.Error("unclassified error must be permanent")
+	}
+	if IsTransient(nil) {
+		t.Error("nil must be permanent")
+	}
+	if !IsTransient(MarkTransient(base)) {
+		t.Error("MarkTransient not recognized")
+	}
+	if IsTransient(MarkPermanent(base)) {
+		t.Error("MarkPermanent must be permanent")
+	}
+	// The outermost marker wins: a layer can veto an inner transient
+	// classification (the fsync rule in internal/persist).
+	if IsTransient(MarkPermanent(MarkTransient(base))) {
+		t.Error("outer MarkPermanent must override inner MarkTransient")
+	}
+	if !IsTransient(MarkTransient(MarkPermanent(base))) {
+		t.Error("outer MarkTransient must override inner MarkPermanent")
+	}
+	// Wrapping with fmt.Errorf keeps the classification reachable.
+	if !IsTransient(fmt.Errorf("context: %w", MarkTransient(base))) {
+		t.Error("classification lost through fmt.Errorf wrapping")
+	}
+	// errors.Is still sees through the marker.
+	if !errors.Is(MarkTransient(base), base) {
+		t.Error("MarkTransient must unwrap to the original error")
+	}
+	if MarkTransient(nil) != nil || MarkPermanent(nil) != nil {
+		t.Error("marking nil must stay nil")
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 60 * time.Millisecond, Seed: 42}
+	q := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 60 * time.Millisecond, Seed: 42}
+	for a := 1; a <= 5; a++ {
+		d1, d2 := p.Backoff(a), q.Backoff(a)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed gave different delays %v vs %v", a, d1, d2)
+		}
+		if d1 > 60*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds cap", a, d1)
+		}
+		if d1 <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v with positive base", a, d1)
+		}
+	}
+	if (Policy{MaxAttempts: 3}).Backoff(2) != 0 {
+		t.Error("zero BaseDelay must not sleep")
+	}
+}
+
+func TestDoRetriesTransient(t *testing.T) {
+	calls, retries := 0, 0
+	err := Policy{MaxAttempts: 3}.Do(nil, func(int, error) { retries++ }, func() error {
+		calls++
+		if calls < 3 {
+			return MarkTransient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want healed nil", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 and 2", calls, retries)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	perm := errors.New("permanent")
+	calls := 0
+	err := Policy{MaxAttempts: 5}.Do(nil, nil, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the permanent error after one call", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	inner := errors.New("always down")
+	err := Policy{MaxAttempts: 2}.Do(nil, nil, func() error {
+		calls++
+		return MarkTransient(inner)
+	})
+	if !errors.Is(err, inner) || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want the last error after 1+2 calls", err, calls)
+	}
+}
+
+func TestDoDisabledPolicy(t *testing.T) {
+	calls := 0
+	err := Policy{}.Do(nil, nil, func() error {
+		calls++
+		return MarkTransient(errors.New("x"))
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("zero policy must not retry (err=%v calls=%d)", err, calls)
+	}
+}
+
+func TestSleepCanceled(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	p := Policy{MaxAttempts: 1, BaseDelay: time.Hour}
+	start := time.Now()
+	if p.Sleep(done, 1) {
+		t.Error("Sleep must report cancellation on a closed done channel")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Sleep blocked despite closed done channel")
+	}
+}
