@@ -23,10 +23,10 @@ import (
 // Workloads are generated once and shared across benchmarks.
 var (
 	onceWorkloads sync.Once
-	yeastDB       *Database // Figure 5
-	ncbiDB        *Database // Figure 6
-	thrombinDB    *Database // Figure 7
-	webviewDB     *Database // Figure 8
+	yeastDB       *Columnar // Figure 5
+	ncbiDB        *Columnar // Figure 6
+	thrombinDB    *Columnar // Figure 7
+	webviewDB     *Columnar // Figure 8
 )
 
 func workloads() {
@@ -41,7 +41,7 @@ func workloads() {
 // benchAlgos are the algorithms shown in Figures 5-8.
 var benchAlgos = []Algorithm{IsTa, CarpenterTable, CarpenterLists, FPClose, LCM}
 
-func benchFigure(b *testing.B, db *Database, minsup int) {
+func benchFigure(b *testing.B, db *Columnar, minsup int) {
 	for _, algo := range benchAlgos {
 		b.Run(string(algo), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -200,7 +200,7 @@ func BenchmarkTable1Matrix(b *testing.B) {
 	pre := prep.Prepare(thrombinDB, 30, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderSizeAsc})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := pre.DB.ToMatrix()
+		m := pre.DB.Matrix()
 		if m.N == 0 {
 			b.Fatal("empty matrix")
 		}
@@ -214,9 +214,9 @@ func BenchmarkTreeAddTransaction(b *testing.B) {
 	pre := prep.Prepare(yeastDB, 14, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderSizeAsc})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tree := core.NewTree(pre.DB.Items)
-		for _, t := range pre.DB.Trans[:40] {
-			tree.AddTransaction(t)
+		tree := core.NewTree(pre.DB.NumItems())
+		for k := 0; k < 40; k++ {
+			tree.AddTransaction(pre.DB.Tx(k))
 		}
 	}
 }

@@ -183,7 +183,7 @@ func main() {
 		go http.Serve(ln, nil)
 	}
 
-	var db *fim.Database
+	var db fim.Source
 	var err error
 	switch {
 	case *expr:
@@ -196,12 +196,18 @@ func main() {
 	if err != nil {
 		failUsage(err)
 	}
+	// Named input keeps its name table for the output; generated and
+	// columnar sources carry numeric codes only.
+	var names []string
+	if d, ok := db.(*fim.Database); ok {
+		names = d.Names
+	}
 	minsup := int(*support)
 	if *support > 0 && *support < 1 {
-		minsup = int(math.Ceil(*support * float64(len(db.Trans))))
+		minsup = int(math.Ceil(*support * float64(fim.TotalWeight(db))))
 	}
 	if *stats {
-		fmt.Fprintf(os.Stderr, "fim: workload %s, minsup %d\n", db.Stats(), minsup)
+		fmt.Fprintf(os.Stderr, "fim: workload %s, minsup %d\n", fim.StatsOf(db), minsup)
 	}
 
 	// An interrupt cancels the run cooperatively instead of killing the
@@ -282,7 +288,7 @@ func main() {
 			return f.Close()
 		}
 	}
-	if werr := patterns.Write(w, db.Names); werr != nil {
+	if werr := patterns.Write(w, names); werr != nil {
 		if closeOut != nil {
 			closeOut()
 		}
@@ -328,10 +334,11 @@ func printProgress(p fim.ProgressEvent) {
 // transactions, snapshots the durable prefix and returns it with
 // truncated set — every transaction fed so far stays durable, and a
 // -resume rerun continues exactly where the interrupt landed.
-func mineDurable(ctx context.Context, db *fim.Database, minsup int, dir string, every, retries int, resume, repair, progress bool, st *fim.MiningStats) (_ *fim.ResultSet, truncated bool) {
+func mineDurable(ctx context.Context, db fim.Source, minsup int, dir string, every, retries int, resume, repair, progress bool, st *fim.MiningStats) (_ *fim.ResultSet, truncated bool) {
 	start := time.Now()
+	n := db.NumTx()
 	dm, err := fim.OpenDurable(dir, fim.DurableOptions{
-		Items:         db.Items,
+		Items:         db.NumItems(),
 		SnapshotEvery: every,
 		Retry:         fim.RetryPolicy{MaxAttempts: retries},
 		Repair:        repair,
@@ -349,26 +356,26 @@ func mineDurable(ctx context.Context, db *fim.Database, minsup int, dir string, 
 	switch {
 	case done > 0 && !resume:
 		failUsage(fmt.Errorf("%s already holds %d transactions; pass -resume to continue or point -snapshot-dir at a fresh directory", dir, done))
-	case done > len(db.Trans):
-		failUsage(fmt.Errorf("%s holds %d transactions but the database has only %d — wrong directory for this input", dir, done, len(db.Trans)))
+	case done > n:
+		failUsage(fmt.Errorf("%s holds %d transactions but the database has only %d — wrong directory for this input", dir, done, n))
 	}
 	if done > 0 {
-		fmt.Fprintf(os.Stderr, "fim: resuming at transaction %d of %d\n", done+1, len(db.Trans))
+		fmt.Fprintf(os.Stderr, "fim: resuming at transaction %d of %d\n", done+1, n)
 	}
 	lastProgress := start
-	for i, tr := range db.Trans[done:] {
+	for k := done; k < n; k++ {
 		if ctx.Err() != nil {
 			// Interrupted: stop feeding, keep everything already durable.
 			truncated = true
 			break
 		}
-		if err := dm.AddSet(tr); err != nil {
+		if err := dm.AddSet(db.Tx(k)); err != nil {
 			fail(err)
 		}
 		if progress && time.Since(lastProgress) >= 200*time.Millisecond {
 			lastProgress = time.Now()
 			fmt.Fprintf(os.Stderr, "fim: progress elapsed=%s added=%d/%d nodes=%d\n",
-				time.Since(start).Round(time.Millisecond), done+i+1, len(db.Trans), dm.NodeCount())
+				time.Since(start).Round(time.Millisecond), k+1, n, dm.NodeCount())
 		}
 	}
 	// Leave a snapshot at the final (or interrupted) state so the next
@@ -381,8 +388,8 @@ func mineDurable(ctx context.Context, db *fim.Database, minsup int, dir string, 
 		Algorithm:           string(fim.IsTa),
 		Target:              fim.TargetClosed,
 		MinSupport:          minsup,
-		Transactions:        len(db.Trans),
-		Items:               db.Items,
+		Transactions:        n,
+		Items:               db.NumItems(),
 		PreppedTransactions: dm.Transactions(),
 		PreppedItems:        dm.Items(),
 		Patterns:            int64(patterns.Len()),
@@ -423,7 +430,7 @@ func supportsTarget(info fim.AlgorithmInfo, tgt fim.Target) bool {
 // loadExpression runs the paper's §4 pipeline: parse a log-ratio matrix
 // and discretize it into over-/under-expression items (code 2x = "x
 // over-expressed", 2x+1 = "x under-expressed").
-func loadExpression(path string, threshold float64, orient string) (*fim.Database, error) {
+func loadExpression(path string, threshold float64, orient string) (fim.Source, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

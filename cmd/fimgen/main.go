@@ -32,7 +32,7 @@ func main() {
 	)
 	flag.Parse()
 
-	var db *fim.Database
+	var db *fim.Columnar
 	switch *kind {
 	case "yeast":
 		db = fim.GenYeast(*scale, *seed)

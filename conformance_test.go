@@ -14,6 +14,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/naive"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // conformanceDB builds a small random database within the oracle limits.
@@ -268,6 +269,59 @@ func TestStatsPopulated(t *testing.T) {
 		}
 		if stats.String() == "" {
 			t.Errorf("%s: empty stats string", info.Name)
+		}
+	}
+}
+
+// TestWeightedConformance: merging duplicate rows into weighted rows must
+// not change any miner's output. Every registered algorithm runs on a
+// duplicate-heavy database twice — expanded (uniform weights) and merged
+// (weights > 1) — and the pattern sets must be identical per target. This
+// pins the weighted support semantics of the columnar store across the
+// whole registry.
+func TestWeightedConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		// A tiny universe forces duplicate rows.
+		items := 2 + rng.Intn(4)
+		n := 4 + rng.Intn(16)
+		rows := make([][]int, n)
+		for k := range rows {
+			for i := 0; i < items; i++ {
+				if rng.Float64() < 0.5 {
+					rows[k] = append(rows[k], i)
+				}
+			}
+		}
+		expanded := NewDatabase(rows)
+		merged := txdb.MergeDuplicates(txdb.FromSource(expanded))
+		if merged.NumTx() == expanded.NumTx() {
+			continue // no duplicates materialized this trial
+		}
+		if merged.TotalWeight() != len(rows) {
+			t.Fatalf("trial %d: merged weight %d, want %d", trial, merged.TotalWeight(), len(rows))
+		}
+		minsup := 1 + trial%3
+		for _, info := range AlgorithmInfos() {
+			for _, target := range info.Targets {
+				var want, got ResultSet
+				if err := Mine(expanded, Options{MinSupport: minsup, Algorithm: info.Name, Target: target}, want.Collect()); err != nil {
+					t.Fatalf("%s/%s expanded: %v", info.Name, target, err)
+				}
+				if err := Mine(merged, Options{MinSupport: minsup, Algorithm: info.Name, Target: target}, got.Collect()); err != nil {
+					t.Fatalf("%s/%s merged: %v", info.Name, target, err)
+				}
+				want.Sort()
+				got.Sort()
+				if !got.Equal(&want) {
+					t.Fatalf("%s/%s: merged DB mines differently (minsup=%d rows=%v):\n%s",
+						info.Name, target, minsup, rows, got.Diff(&want, 10))
+				}
+			}
 		}
 	}
 }

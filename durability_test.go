@@ -249,10 +249,10 @@ func TestOpenDurableFacade(t *testing.T) {
 // checking the restored miner's closed sets at several thresholds and
 // that it keeps mining identically after restore.
 func TestSnapshotRoundTripDatasets(t *testing.T) {
-	dbs := map[string]*Database{
-		"empty":       {Items: 5, Trans: nil},
-		"single":      {Items: 5, Trans: []ItemSet{itemset.New(0, 2, 4)}},
-		"empty-trans": {Items: 3, Trans: []ItemSet{{}, {}}},
+	dbs := map[string]Source{
+		"empty":       &Database{Items: 5, Trans: nil},
+		"single":      &Database{Items: 5, Trans: []ItemSet{itemset.New(0, 2, 4)}},
+		"empty-trans": &Database{Items: 3, Trans: []ItemSet{{}, {}}},
 		"quest": GenQuest(QuestConfig{
 			Items: 40, Transactions: 120, AvgLen: 8,
 			Patterns: 10, AvgPatternLen: 4, Seed: 3,
@@ -260,11 +260,11 @@ func TestSnapshotRoundTripDatasets(t *testing.T) {
 		"yeast": GenYeast(0.02, 11),
 	}
 	for name, db := range dbs {
-		n := len(db.Trans)
+		n := db.NumTx()
 		cut := n / 2
-		m := NewIncrementalMiner(db.Items)
-		for _, tr := range db.Trans[:cut] {
-			if err := m.AddSet(tr); err != nil {
+		m := NewIncrementalMiner(db.NumItems())
+		for k := 0; k < cut; k++ {
+			if err := m.AddSet(db.Tx(k)); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 		}
@@ -276,17 +276,17 @@ func TestSnapshotRoundTripDatasets(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: restore: %v", name, err)
 		}
-		if got.Transactions() != cut || got.Items() != db.Items || got.NodeCount() != m.NodeCount() {
+		if got.Transactions() != cut || got.Items() != db.NumItems() || got.NodeCount() != m.NodeCount() {
 			t.Fatalf("%s: restored state differs: %d/%d trans, %d/%d items, %d/%d nodes", name,
-				got.Transactions(), cut, got.Items(), db.Items, got.NodeCount(), m.NodeCount())
+				got.Transactions(), cut, got.Items(), db.NumItems(), got.NodeCount(), m.NodeCount())
 		}
 		// Both miners continue over the second half and must agree with
 		// the batch oracle on the full database.
-		for _, tr := range db.Trans[cut:] {
-			if err := m.AddSet(tr); err != nil {
+		for k := cut; k < n; k++ {
+			if err := m.AddSet(db.Tx(k)); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			if err := got.AddSet(tr); err != nil {
+			if err := got.AddSet(db.Tx(k)); err != nil {
 				t.Fatalf("%s: restored miner rejected transaction: %v", name, err)
 			}
 		}

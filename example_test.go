@@ -86,7 +86,7 @@ func ExampleTranspose() {
 	// many-items regime that the intersection algorithms target.
 	db := fim.NewDatabase([][]int{{0, 1}, {1, 2}})
 	tr := fim.Transpose(db)
-	fmt.Println(len(db.Trans), "x", db.Items, "->", len(tr.Trans), "x", tr.Items)
+	fmt.Println(len(db.Trans), "x", db.Items, "->", tr.NumTx(), "x", tr.NumItems())
 	// Output:
 	// 2 x 3 -> 3 x 2
 }

@@ -57,7 +57,7 @@ func main() {
 	fmt.Println("space grows with the number of items.")
 }
 
-func mineBoth(db *fim.Database, minsup int) {
+func mineBoth(db fim.Source, minsup int) {
 	for _, algo := range []fim.Algorithm{fim.IsTa, fim.FPClose} {
 		var count int
 		start := time.Now()

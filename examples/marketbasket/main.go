@@ -40,14 +40,14 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("frequent item sets at minsup %d (%.1f%%):\n", minsup,
-		100*float64(minsup)/float64(len(db.Trans)))
+		100*float64(minsup)/float64(db.NumTx()))
 	fmt.Printf("  all:     %6d\n", all.Len())
 	fmt.Printf("  closed:  %6d   (lossless compression, §2.3)\n", closed.Len())
 	fmt.Printf("  maximal: %6d   (lossy: supports of subsets are lost)\n", maximal.Len())
 
 	// Rule induction from the closed sets: closed sets preserve every
 	// support value, so confidences are exact.
-	rules := fim.Rules(closed, len(db.Trans), fim.RuleOptions{
+	rules := fim.Rules(closed, db.NumTx(), fim.RuleOptions{
 		MinConfidence: 0.6,
 		MinLift:       1.5,
 	})

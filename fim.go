@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/dataset"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/result"
 	"repro/internal/retry"
 	"repro/internal/rules"
+	"repro/internal/txdb"
 )
 
 // Re-exported core types. The aliases make the internal packages' types
@@ -47,8 +49,20 @@ type (
 	Item = itemset.Item
 	// ItemSet is a canonical (strictly ascending) set of item codes.
 	ItemSet = itemset.Set
-	// Database is a transaction database.
+	// Database is the row-oriented transaction database of the I/O layer
+	// (FIMI reading/writing, item names). It implements Source, so it can
+	// be passed to every mining function; internally the miners convert it
+	// once into the flat columnar representation.
 	Database = dataset.Database
+	// Source is any transaction database representation the miners
+	// accept: a *Database, a *Columnar store, or any other implementation
+	// of the minimal read-only contract (NumItems/NumTx/Tx/Weight).
+	Source = txdb.Source
+	// Columnar is the flat, immutable columnar transaction store every
+	// miner runs on (see DESIGN.md §5g): one items array, one offsets
+	// array, optional row weights. The generators produce it directly,
+	// and the parallel engines shard it zero-copy.
+	Columnar = txdb.DB
 	// Pattern is a mined item set with its absolute support.
 	Pattern = result.Pattern
 	// ResultSet is a collected, comparable set of patterns.
@@ -290,7 +304,7 @@ type Options struct {
 // patterns remain a valid prefix of the result, and a panic anywhere in
 // the selected miner or in rep is contained and returned as a
 // *PanicError instead of crashing the process.
-func Mine(db *Database, opts Options, rep Reporter) (err error) {
+func Mine(db Source, opts Options, rep Reporter) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = guard.NewPanicError(r)
@@ -372,7 +386,7 @@ var ErrUnsupportedTarget = engine.ErrUnsupportedTarget
 
 // mine dispatches to the selected algorithm through the engine registry
 // with the resolved done channel and guard.
-func mine(db *Database, opts Options, g *guard.Guard, done <-chan struct{}, rep Reporter) error {
+func mine(db Source, opts Options, g *guard.Guard, done <-chan struct{}, rep Reporter) error {
 	name := string(opts.Algorithm)
 	if name == "" {
 		name = string(IsTa)
@@ -408,7 +422,7 @@ func sinkOf(opts Options) obs.Sink {
 
 // MineClosed mines the closed frequent item sets of db with IsTa and
 // returns them in canonical order.
-func MineClosed(db *Database, minSupport int) (*ResultSet, error) {
+func MineClosed(db Source, minSupport int) (*ResultSet, error) {
 	var out ResultSet
 	if err := Mine(db, Options{MinSupport: minSupport}, out.Collect()); err != nil {
 		return nil, err
@@ -421,7 +435,7 @@ func MineClosed(db *Database, minSupport int) (*ResultSet, error) {
 // parallel IsTa engine on the given number of workers (values < 1 select
 // runtime.GOMAXPROCS(0)) and returns them in canonical order — the same
 // patterns MineClosed returns, mined on multiple cores.
-func MineParallel(db *Database, minSupport, workers int) (*ResultSet, error) {
+func MineParallel(db Source, minSupport, workers int) (*ResultSet, error) {
 	if workers == 0 {
 		workers = -1 // Options.Parallelism uses 0 for "sequential"
 	}
@@ -436,7 +450,7 @@ func MineParallel(db *Database, minSupport, workers int) (*ResultSet, error) {
 // MineAll mines every frequent item set (not only closed ones) with
 // FP-growth and returns them in canonical order. The output can be
 // exponentially larger than MineClosed's (§2.3 of the paper).
-func MineAll(db *Database, minSupport int) (*ResultSet, error) {
+func MineAll(db Source, minSupport int) (*ResultSet, error) {
 	var out ResultSet
 	err := Mine(db, Options{MinSupport: minSupport, Algorithm: FPClose, Target: TargetAll}, out.Collect())
 	if err != nil {
@@ -448,7 +462,7 @@ func MineAll(db *Database, minSupport int) (*ResultSet, error) {
 
 // MineMaximal mines the maximal frequent item sets (closed sets without a
 // frequent proper superset) and returns them in canonical order.
-func MineMaximal(db *Database, minSupport int) (*ResultSet, error) {
+func MineMaximal(db Source, minSupport int) (*ResultSet, error) {
 	var out ResultSet
 	err := Mine(db, Options{MinSupport: minSupport, Algorithm: EclatClosed, Target: TargetMaximal}, out.Collect())
 	if err != nil {
@@ -461,7 +475,7 @@ func MineMaximal(db *Database, minSupport int) (*ResultSet, error) {
 // MineApriori mines every frequent item set with the classic level-wise
 // Apriori algorithm. It exists mainly for didactic comparison; prefer
 // MineAll for real use.
-func MineApriori(db *Database, minSupport int) (*ResultSet, error) {
+func MineApriori(db Source, minSupport int) (*ResultSet, error) {
 	var out ResultSet
 	err := Mine(db, Options{MinSupport: minSupport, Algorithm: Apriori, Target: TargetAll}, out.Collect())
 	if err != nil {
@@ -490,24 +504,41 @@ func NewItemSet(items ...int) ItemSet { return itemset.FromInts(items...) }
 func ReadFile(path string) (*Database, error) { return dataset.ReadFile(path) }
 
 // WriteFile stores a database in FIMI format.
-func WriteFile(path string, db *Database) error { return dataset.WriteFile(path, db) }
+func WriteFile(path string, db Source) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, db); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // Read parses a FIMI-format database from r.
 func Read(r io.Reader) (*Database, error) { return dataset.Read(r) }
 
-// Write renders db in FIMI format to w.
-func Write(w io.Writer, db *Database) error { return dataset.Write(w, db) }
+// Write renders db in FIMI format to w. A *Database with a name table is
+// written with item names; every other source is written with numeric
+// codes, each row repeated per its weight so the multiset round-trips.
+func Write(w io.Writer, db Source) error {
+	if d, ok := db.(*Database); ok {
+		return dataset.Write(w, d)
+	}
+	return dataset.WriteSource(w, db)
+}
 
 // Transpose exchanges the roles of items and transactions (§4 of the
 // paper: the gene-expression duality).
-func Transpose(db *Database) *Database { return db.Transpose() }
+func Transpose(db Source) *Columnar { return txdb.FromSource(db).Transpose() }
 
 // Support counts the transactions of db containing items.
-func Support(db *Database, items ItemSet) int { return result.Support(db, items) }
+func Support(db Source, items ItemSet) int { return result.Support(db, items) }
 
 // IsClosed reports whether items equals the intersection of all
 // transactions of db containing it (§2.4).
-func IsClosed(db *Database, items ItemSet) bool { return result.IsClosed(db, items) }
+func IsClosed(db Source, items ItemSet) bool { return result.IsClosed(db, items) }
 
 // RuleOptions configures association rule induction.
 type RuleOptions = rules.Options

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/mining"
+	"repro/internal/txdb"
 )
 
 func paperExample() *Database {
@@ -246,18 +247,18 @@ func TestFileRoundTrip(t *testing.T) {
 func TestTransposeAndGenerators(t *testing.T) {
 	db := GenQuest(QuestConfig{Items: 30, Transactions: 100, AvgLen: 6, Patterns: 8, AvgPatternLen: 3, Seed: 1})
 	tr := Transpose(db)
-	if len(tr.Trans) != 30 {
-		t.Fatalf("transposed rows = %d", len(tr.Trans))
+	if tr.NumTx() != 30 {
+		t.Fatalf("transposed rows = %d", tr.NumTx())
 	}
-	for _, gen := range []*Database{
+	for _, gen := range []*Columnar{
 		GenYeast(0.03, 1), GenNCBI60(0.03, 2), GenThrombin(0.003, 3), GenWebView(0.02, 4),
 	} {
-		if err := gen.Validate(); err != nil {
+		if err := txdb.Validate(gen); err != nil {
 			t.Fatal(err)
 		}
 		// High support keeps this a shape smoke test (low supports on the
 		// dense generators produce millions of closed sets).
-		if _, err := MineClosed(gen, len(gen.Trans)*19/20+1); err != nil {
+		if _, err := MineClosed(gen, gen.NumTx()*19/20+1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -265,8 +266,8 @@ func TestTransposeAndGenerators(t *testing.T) {
 		ModuleGeneFrac: 0.5, ModuleCondFrac: 0.4, Effect: 0.5, Noise: 0.1, Seed: 9})
 	d1 := Discretize(m, 0.2, 0.2, GenesAsTransactions)
 	d2 := Discretize(m, 0.2, 0.2, ConditionsAsTransactions)
-	if len(d1.Trans) != 40 || len(d2.Trans) != 10 {
-		t.Fatalf("orientation shapes: %d, %d", len(d1.Trans), len(d2.Trans))
+	if d1.NumTx() != 40 || d2.NumTx() != 10 {
+		t.Fatalf("orientation shapes: %d, %d", d1.NumTx(), d2.NumTx())
 	}
 }
 

@@ -3,8 +3,8 @@ package fim
 import (
 	"io"
 
-	"repro/internal/dataset"
 	"repro/internal/gendata"
+	"repro/internal/txdb"
 )
 
 // The synthetic workload generators stand in for the paper's evaluation
@@ -14,27 +14,27 @@ import (
 // GenYeast generates a yeast-compendium-like database in the Figure 5
 // orientation: few transactions (conditions), very many items
 // (gene/polarity pairs). Scale 1 approximates the paper's 300 × ~12,000.
-func GenYeast(scale float64, seed int64) *Database { return gendata.Yeast(scale, seed) }
+func GenYeast(scale float64, seed int64) *Columnar { return gendata.Yeast(scale, seed) }
 
 // GenNCBI60 generates an NCBI60-like database: 60 cell-line transactions
 // with items frequent in most of them (the Figure 6 regime).
-func GenNCBI60(scale float64, seed int64) *Database { return gendata.NCBI60(scale, seed) }
+func GenNCBI60(scale float64, seed int64) *Columnar { return gendata.NCBI60(scale, seed) }
 
 // GenThrombin generates a thrombin-like database: 64 transactions over a
 // very wide, sparse, block-correlated binary feature space (Figure 7).
 // Scale 1 gives the paper's 139,351 features.
-func GenThrombin(scale float64, seed int64) *Database { return gendata.Thrombin(scale, seed) }
+func GenThrombin(scale float64, seed int64) *Columnar { return gendata.Thrombin(scale, seed) }
 
 // GenWebView generates a transposed clickstream database like the
 // transposed BMS-WebView-1 of Figure 8.
-func GenWebView(scale float64, seed int64) *Database { return gendata.WebView(scale, seed) }
+func GenWebView(scale float64, seed int64) *Columnar { return gendata.WebView(scale, seed) }
 
 // QuestConfig parameterises GenQuest.
 type QuestConfig = gendata.QuestConfig
 
 // GenQuest generates a classic market-basket database (many transactions,
 // few items) in the spirit of the IBM Quest generator.
-func GenQuest(cfg QuestConfig) *Database { return gendata.Quest(cfg) }
+func GenQuest(cfg QuestConfig) *Columnar { return gendata.Quest(cfg) }
 
 // ExpressionConfig parameterises GenExpression.
 type ExpressionConfig = gendata.ExpressionConfig
@@ -59,7 +59,7 @@ const (
 // database with the paper's over-/under-expression thresholds: values
 // above hi become "over-expressed" items, values below -lo become
 // "under-expressed" items (the paper uses hi = lo = 0.2).
-func Discretize(m *ExpressionMatrix, hi, lo float64, orient Orientation) *Database {
+func Discretize(m *ExpressionMatrix, hi, lo float64, orient Orientation) *Columnar {
 	return gendata.Discretize(m, hi, lo, orient)
 }
 
@@ -71,5 +71,13 @@ func ReadMatrixCSV(r io.Reader) (*ExpressionMatrix, error) { return gendata.Read
 // WriteMatrixCSV renders an expression matrix as CSV.
 func WriteMatrixCSV(w io.Writer, m *ExpressionMatrix) error { return gendata.WriteMatrixCSV(w, m) }
 
-// Stats summarises the shape of a database.
-type Stats = dataset.Stats
+// Stats summarises the shape of a database (any Source).
+type Stats = txdb.Stats
+
+// StatsOf computes the summary statistics of any database.
+func StatsOf(db Source) Stats { return txdb.StatsOf(db) }
+
+// TotalWeight returns the weighted transaction count of any database —
+// the denominator for relative support thresholds. For databases without
+// merged duplicates it equals the number of rows.
+func TotalWeight(db Source) int { return txdb.TotalWeightOf(db) }

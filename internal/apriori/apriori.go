@@ -11,13 +11,13 @@ package apriori
 import (
 	"sort"
 
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Target selects what Mine reports.
@@ -49,8 +49,8 @@ type Options struct {
 }
 
 // Mine runs Apriori on db, reporting patterns in original item codes.
-func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func Mine(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -66,16 +66,20 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 // database.
 func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Control, rep result.Reporter) error {
 	pdb := pre.DB
-	if pdb.Items == 0 {
+	if pdb.NumItems() == 0 {
 		return nil
 	}
 
-	// Precompute a bit set per transaction for O(k) candidate counting.
-	bits := make([]*itemset.BitSet, len(pdb.Trans))
-	for k, t := range pdb.Trans {
-		b := itemset.NewBitSet(pdb.Items)
-		b.SetAll(t)
+	// Precompute a bit set per row for O(k) candidate counting; weighted
+	// rows keep their multiplicity next to the bits.
+	n := pdb.NumTx()
+	bits := make([]*itemset.BitSet, n)
+	rowW := make([]int, n)
+	for k := 0; k < n; k++ {
+		b := itemset.NewBitSet(pdb.NumItems())
+		b.SetAll(pdb.Tx(k))
 		bits[k] = b
+		rowW[k] = pdb.Weight(k)
 	}
 
 	var out func(items itemset.Set, supp int)
@@ -100,7 +104,7 @@ func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Con
 		supp  int
 	}
 	var level []entry
-	for i := 0; i < pdb.Items; i++ {
+	for i := 0; i < pdb.NumItems(); i++ {
 		// Preprocessing removed infrequent items, so every remaining item
 		// is frequent by construction.
 		level = append(level, entry{items: itemset.Set{itemset.Item(i)}, supp: pre.Freq[i]})
@@ -134,9 +138,9 @@ func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Con
 					continue
 				}
 				supp := 0
-				for _, bset := range bits {
+				for k, bset := range bits {
 					if bset.ContainsSet(cand) {
-						supp++
+						supp += rowW[k]
 					}
 				}
 				if supp >= minsup {

@@ -10,14 +10,15 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/carpenter"
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/mining"
 	"repro/internal/result"
+	"repro/internal/txdb"
 
 	// Link the remaining algorithm packages (core and carpenter are
 	// imported above for the ablations) and the parallel engines; each
@@ -38,14 +39,14 @@ type Algo struct {
 	// Run mines db at minsup, reporting into rep; done cancels. st, when
 	// non-nil, receives the run's counters and phase timings; algorithms
 	// that bypass the engine (the ablation variants) may leave it empty.
-	Run func(db *dataset.Database, minsup int, done <-chan struct{}, st *engine.Stats, rep result.Reporter) error
+	Run func(db txdb.Source, minsup int, done <-chan struct{}, st *engine.Stats, rep result.Reporter) error
 }
 
 // engineAlgo adapts a registered miner to a bench Algo under the given
 // column label. workers selects the engine: 1 forces the sequential
 // miner, >= 2 the parallel engine where one is registered.
 func engineAlgo(label, regName string, workers int) Algo {
-	return Algo{label, func(db *dataset.Database, ms int, done <-chan struct{}, st *engine.Stats, rep result.Reporter) error {
+	return Algo{label, func(db txdb.Source, ms int, done <-chan struct{}, st *engine.Stats, rep result.Reporter) error {
 		return engine.Run(db, regName, engine.Spec{MinSupport: ms, Workers: workers, Done: done, Stats: st}, rep)
 	}}
 }
@@ -66,16 +67,16 @@ func Algorithms() map[string]Algo {
 		engineAlgo("cobbler", "cobbler", 1),
 		engineAlgo("sam", "sam", 1),
 		engineAlgo("flat", "flat", 1),
-		{"ista-noprune", func(db *dataset.Database, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
+		{"ista-noprune", func(db txdb.Source, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
 			return core.Mine(db, core.Options{MinSupport: ms, Done: done, DisablePruning: true}, rep)
 		}},
-		{"carp-table-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
+		{"carp-table-noelim", func(db txdb.Source, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
 			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, DisableElimination: true, Done: done}, rep)
 		}},
-		{"carp-lists-noelim", func(db *dataset.Database, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
+		{"carp-lists-noelim", func(db txdb.Source, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
 			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Lists, DisableElimination: true, Done: done}, rep)
 		}},
-		{"carp-table-hash", func(db *dataset.Database, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
+		{"carp-table-hash", func(db txdb.Source, ms int, done <-chan struct{}, _ *engine.Stats, rep result.Reporter) error {
 			return carpenter.Mine(db, carpenter.Options{MinSupport: ms, Variant: carpenter.Table, HashRepository: true, Done: done}, rep)
 		}},
 	}
@@ -107,6 +108,13 @@ type Cell struct {
 	MineTime  time.Duration
 	Ops       int64
 	NodesPeak int64
+
+	// Allocation footprint of the run (heap allocation count and bytes,
+	// from runtime.MemStats deltas around the single measured run). The
+	// columnar store makes these nearly size-independent for prep; the
+	// CI smoke run asserts the prep budget never regresses.
+	Allocs int64
+	Bytes  int64
 }
 
 // Row is one support level of a sweep.
@@ -119,7 +127,7 @@ type Row struct {
 }
 
 // RunOne measures one algorithm on one workload at one support level.
-func RunOne(a Algo, db *dataset.Database, minsup int, timeout time.Duration) Cell {
+func RunOne(a Algo, db txdb.Source, minsup int, timeout time.Duration) Cell {
 	done := make(chan struct{})
 	var timer *time.Timer
 	if timeout > 0 {
@@ -127,9 +135,12 @@ func RunOne(a Algo, db *dataset.Database, minsup int, timeout time.Duration) Cel
 	}
 	var counter result.Counter
 	var st engine.Stats
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	err := a.Run(db, minsup, done, &st, &counter)
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
 	if timer != nil {
 		timer.Stop()
 	}
@@ -137,6 +148,8 @@ func RunOne(a Algo, db *dataset.Database, minsup int, timeout time.Duration) Cel
 		Time: elapsed, Closed: counter.N,
 		PrepTime: st.PrepTime, MineTime: st.MineTime,
 		Ops: st.Ops, NodesPeak: st.NodesPeak,
+		Allocs: int64(after.Mallocs - before.Mallocs),
+		Bytes:  int64(after.TotalAlloc - before.TotalAlloc),
 	}
 	switch {
 	case err == mining.ErrCanceled:
@@ -153,7 +166,7 @@ func RunOne(a Algo, db *dataset.Database, minsup int, timeout time.Duration) Cel
 // workload only grows as the support drops. Finished algorithms must agree
 // on the number of closed sets; a mismatch is returned as an error because
 // it would mean one of the miners is wrong.
-func Sweep(db *dataset.Database, supports []int, algoNames []string, timeout time.Duration) ([]Row, error) {
+func Sweep(db txdb.Source, supports []int, algoNames []string, timeout time.Duration) ([]Row, error) {
 	registry := Algorithms()
 	dead := map[string]bool{}
 	rows := make([]Row, 0, len(supports))

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gendata"
 	"repro/internal/itemset"
+	"repro/internal/txdb"
 )
 
 func smallDB() *dataset.Database {
@@ -70,7 +71,7 @@ func TestSweepAgreementOnGeneratedWorkloads(t *testing.T) {
 	}
 	cases := []struct {
 		name string
-		db   *dataset.Database
+		db   *txdb.DB
 		ms   []int
 	}{
 		{"yeast", gendata.Yeast(0.04, 7), []int{10, 6}},
@@ -125,7 +126,7 @@ func TestWriteTableFormatting(t *testing.T) {
 		}},
 	}
 	var sb strings.Builder
-	WriteTable(&sb, "demo", dataset.Stats{Transactions: 4}, []string{"ista", "lcm"}, rows)
+	WriteTable(&sb, "demo", txdb.Stats{Transactions: 4}, []string{"ista", "lcm"}, rows)
 	out := sb.String()
 	for _, want := range []string{"demo", "minsup", "t/o", "0.0015", "2.00", "#closed", "10"} {
 		if !strings.Contains(out, want) {

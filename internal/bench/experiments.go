@@ -11,6 +11,7 @@ import (
 	"repro/internal/gendata"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Config tunes an experiment run. Zero values select the experiment
@@ -171,7 +172,7 @@ func Get(id string) (Experiment, bool) {
 }
 
 // sweep is the shared driver for figure-style experiments.
-func sweep(w io.Writer, cfg Config, id, title string, db *dataset.Database, supports []int, algos []string, timeout time.Duration) error {
+func sweep(w io.Writer, cfg Config, id, title string, db *txdb.DB, supports []int, algos []string, timeout time.Duration) error {
 	rows, err := Sweep(db, supports, algos, timeout)
 	if err != nil {
 		return err
@@ -291,7 +292,7 @@ func runScaling(cfg Config, w io.Writer) error {
 	fmt.Fprintln(w, "yeast-like workloads of growing size, minsup = 10% of the transactions")
 	for _, scale := range []float64{0.05, 0.10, 0.15, 0.20} {
 		db := gendata.Yeast(scale, cfg.seed(1))
-		minsup := len(db.Trans) / 10
+		minsup := db.NumTx() / 10
 		rows, err := Sweep(db, []int{minsup}, algos, cfg.timeout(30*time.Second))
 		if err != nil {
 			return err
@@ -324,7 +325,7 @@ func runParallel(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "(%d cores available)\n\n", runtime.NumCPU())
 	var jrows []Row
 	var jalgos []string
-	section := func(title string, db *dataset.Database, minsup int, seqName string, parAlgo func(p int) Algo) error {
+	section := func(title string, db *txdb.DB, minsup int, seqName string, parAlgo func(p int) Algo) error {
 		fmt.Fprintf(w, "%s\nworkload: %s, minsup %d\n", title, db.Stats(), minsup)
 		fmt.Fprintf(w, "%-16s  %10s  %9s  %9s  %8s\n", "engine", "time(s)", "mine(s)", "#closed", "speedup")
 		base := RunOne(registry[seqName], db, minsup, cfg.timeout(60*time.Second))
@@ -360,7 +361,7 @@ func runParallel(cfg Config, w io.Writer) error {
 		Transactions: int(4000 * cfg.scale(1)), Items: 120, AvgLen: 10,
 		Patterns: 30, AvgPatternLen: 4, Seed: cfg.seed(7),
 	})
-	if err := section("sharded IsTa (many transactions)", quest, len(quest.Trans)/100,
+	if err := section("sharded IsTa (many transactions)", quest, quest.NumTx()/100,
 		"ista", func(p int) Algo {
 			return engineAlgo(fmt.Sprintf("ista-p%d", p), "ista", p)
 		}); err != nil {
@@ -376,7 +377,7 @@ func runParallel(cfg Config, w io.Writer) error {
 	return cfg.writeJSON(w, "par", "quest + ncbi60 (see sections above)", jalgos, jrows)
 }
 
-func sweepPlain(w io.Writer, cfg Config, id, title string, db *dataset.Database, supports []int, algos []string, timeout time.Duration) error {
+func sweepPlain(w io.Writer, cfg Config, id, title string, db *txdb.DB, supports []int, algos []string, timeout time.Duration) error {
 	rows, err := Sweep(db, supports, algos, timeout)
 	if err != nil {
 		return err
@@ -397,7 +398,7 @@ func runTable1(_ Config, w io.Writer) error {
 		[]int{3, 4},
 		[]int{2, 3, 4},
 	)
-	m := db.ToMatrix()
+	m := txdb.FromSource(db).Matrix()
 	names := []string{"a", "b", "c", "d", "e"}
 	fmt.Fprintln(w, "Table 1: matrix representation for the improved Carpenter variant")
 	fmt.Fprintf(w, "%4s", "")

@@ -7,14 +7,14 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/dataset"
+	"repro/internal/txdb"
 )
 
 // WriteTable renders sweep rows as an aligned text table in the spirit of
 // the paper's figures: one row per minimum support, one time column per
 // algorithm, and the agreed closed-set count. Cells show seconds; "t/o"
 // marks a timeout and "-" a level skipped after an earlier timeout.
-func WriteTable(w io.Writer, title string, stats dataset.Stats, algoNames []string, rows []Row) {
+func WriteTable(w io.Writer, title string, stats txdb.Stats, algoNames []string, rows []Row) {
 	fmt.Fprintf(w, "%s\n", title)
 	fmt.Fprintf(w, "workload: %s\n\n", stats)
 

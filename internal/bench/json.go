@@ -35,6 +35,8 @@ type JSONCell struct {
 	Closed     int     `json:"closed"`
 	Ops        int64   `json:"ops"`
 	NodesPeak  int64   `json:"nodes_peak"`
+	Allocs     int64   `json:"allocs_per_op"`
+	Bytes      int64   `json:"bytes_per_op"`
 	TimedOut   bool    `json:"timed_out,omitempty"`
 	Skipped    bool    `json:"skipped,omitempty"`
 }
@@ -53,6 +55,8 @@ func WriteBenchJSON(dir, id, workload string, algos []string, rows []Row) (strin
 				Closed:     c.Closed,
 				Ops:        c.Ops,
 				NodesPeak:  c.NodesPeak,
+				Allocs:     c.Allocs,
+				Bytes:      c.Bytes,
 				TimedOut:   c.TimedOut,
 				Skipped:    c.Skipped,
 			}

@@ -34,6 +34,7 @@ type TableBranch struct {
 type TableBrancher struct {
 	pre    *prep.Prepared
 	matrix [][]int32
+	suffW  []int
 	minsup int
 	n      int
 	elim   bool
@@ -47,9 +48,10 @@ func NewTableBrancher(pre *prep.Prepared, minsup int, disableElimination bool) *
 	}
 	return &TableBrancher{
 		pre:    pre,
-		matrix: pre.DB.ToMatrix().M,
+		matrix: pre.DB.Matrix().M,
+		suffW:  suffixWeights(pre.DB),
 		minsup: minsup,
-		n:      len(pre.DB.Trans),
+		n:      pre.DB.NumTx(),
 		elim:   !disableElimination,
 	}
 }
@@ -61,13 +63,13 @@ func NewTableBrancher(pre *prep.Prepared, minsup int, disableElimination bool) *
 // which the sequential loop breaks too). Branches with an empty root
 // intersection are skipped.
 func (b *TableBrancher) Branches() []TableBranch {
-	root := make([]itemset.Item, b.pre.DB.Items)
+	root := make([]itemset.Item, b.pre.DB.NumItems())
 	for i := range root {
 		root[i] = itemset.Item(i)
 	}
 	var out []TableBranch
 	for j := 0; j < b.n; j++ {
-		if b.n-j < b.minsup {
+		if b.suffW[j] < b.minsup {
 			break
 		}
 		row := b.matrix[j]
@@ -111,7 +113,9 @@ func (b *TableBrancher) NewWorker(done <-chan struct{}, g *guard.Guard, counters
 		minsup: b.minsup,
 		n:      b.n,
 		elim:   b.elim,
-		repo:   newRepoTree(b.pre.DB.Items),
+		repo:   newRepoTree(b.pre.DB.NumItems()),
+		db:     b.pre.DB,
+		suffW:  b.suffW,
 		pre:    b.pre,
 		rep:    rep,
 		ctl:    mining.GuardedCounted(done, g, counters),
@@ -126,5 +130,5 @@ func (b *TableBrancher) NewWorker(done <-chan struct{}, g *guard.Guard, counters
 func (w *TableWorker) Explore(br TableBranch) (err error) {
 	defer guard.Recover(&err)
 	items := append([]itemset.Item(nil), br.items...)
-	return w.m.exploreTable(items, 1, br.First+1)
+	return w.m.exploreTable(items, w.m.db.Weight(br.First), br.First+1)
 }

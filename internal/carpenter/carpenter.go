@@ -1,12 +1,12 @@
 package carpenter
 
 import (
-	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Variant selects the database representation of §3.1.
@@ -58,8 +58,8 @@ type Options struct {
 
 // Mine enumerates transaction sets per §3.1 and reports every closed item
 // set with support at least opts.MinSupport in original item codes.
-func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func Mine(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -75,14 +75,16 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 // database.
 func minePrepared(pre *prep.Prepared, minsup int, variant Variant, disableElimination, hashRepository bool, ctl *mining.Control, rep result.Reporter) error {
 	pdb := pre.DB
-	if pdb.Items == 0 || len(pdb.Trans) < minsup {
+	if pdb.NumItems() == 0 || pdb.TotalWeight() < minsup {
 		return nil
 	}
 
 	m := &miner{
 		minsup: minsup,
-		n:      len(pdb.Trans),
+		n:      pdb.NumTx(),
 		elim:   !disableElimination,
+		db:     pdb,
+		suffW:  suffixWeights(pdb),
 		pre:    pre,
 		rep:    rep,
 		ctl:    ctl,
@@ -90,28 +92,58 @@ func minePrepared(pre *prep.Prepared, minsup int, variant Variant, disableElimin
 	if hashRepository {
 		m.repo = newHashRepo()
 	} else {
-		m.repo = newRepoTree(pdb.Items)
+		m.repo = newRepoTree(pdb.NumItems())
 	}
 	if variant == Table {
-		m.matrix = pdb.ToMatrix().M
+		m.matrix = pdb.Matrix().M
 	} else {
-		m.tids = pdb.ToVertical().Tids
+		m.tids = pdb.Vertical().Tids
+		if !pdb.Uniform() {
+			m.remW = remainingWeights(pdb, m.tids)
+		}
 	}
 
 	// The root subproblem is (B, ∅, 1): the full item base, nothing
 	// intersected yet.
 	if variant == Table {
-		root := make([]itemset.Item, pdb.Items)
+		root := make([]itemset.Item, pdb.NumItems())
 		for i := range root {
 			root[i] = itemset.Item(i)
 		}
 		return m.exploreTable(root, 0, 0)
 	}
-	root := make([]ip, pdb.Items)
+	root := make([]ip, pdb.NumItems())
 	for i := range root {
 		root[i] = ip{item: itemset.Item(i)}
 	}
 	return m.exploreLists(root, 0, 0)
+}
+
+// suffixWeights returns s with s[j] = total weight of rows j..n-1, the
+// weighted version of the "transactions left to scan" bound (with uniform
+// weights s[j] = n-j exactly).
+func suffixWeights(db *txdb.DB) []int {
+	n := db.NumTx()
+	s := make([]int, n+1)
+	for j := n - 1; j >= 0; j-- {
+		s[j] = s[j+1] + db.Weight(j)
+	}
+	return s
+}
+
+// remainingWeights precomputes, for every item, the weighted suffix sums
+// of its tid list: remW[i][p] = total weight of tids[i][p:]. Only needed
+// for weighted databases; uniform ones read list lengths directly.
+func remainingWeights(db *txdb.DB, tids [][]int32) [][]int32 {
+	remW := make([][]int32, len(tids))
+	for i, tl := range tids {
+		r := make([]int32, len(tl)+1)
+		for p := len(tl) - 1; p >= 0; p-- {
+			r[p] = r[p+1] + int32(db.Weight(int(tl[p])))
+		}
+		remW[i] = r
+	}
+	return remW
 }
 
 type miner struct {
@@ -119,11 +151,14 @@ type miner struct {
 	n      int
 	elim   bool
 	repo   repository
+	db     *txdb.DB
+	suffW  []int // suffW[j] = total weight of rows j..n-1
 	pre    *prep.Prepared
 	rep    result.Reporter
 	ctl    *mining.Control
 
 	tids   [][]int32 // lists variant
+	remW   [][]int32 // lists variant, weighted databases only
 	matrix [][]int32 // table variant
 
 	scratch itemset.Set // reusable buffer for repository lookups/reports
@@ -139,7 +174,9 @@ type ip struct {
 
 // exploreLists processes the subproblem whose intersection is items
 // (ascending item order; positions point at the first transaction index
-// ≥ ell in each list) with |K| = kSize, scanning transactions ell..n-1.
+// ≥ ell in each list) with weight(K) = kSize, scanning transactions
+// ell..n-1. All counts are weighted; with uniform weights they are the
+// paper's transaction counts exactly.
 func (m *miner) exploreLists(items []ip, kSize, ell int) error {
 	perfectSeen := false
 	for j := ell; j < m.n && len(items) > 0; j++ {
@@ -148,26 +185,28 @@ func (m *miner) exploreLists(items []ip, kSize, ell int) error {
 		}
 		m.ctl.CountOps(1) // one transaction intersection per scan step
 		// Neither this node nor anything below can reach minsup anymore.
-		if kSize+(m.n-j) < m.minsup {
+		if kSize+m.suffW[j] < m.minsup {
 			break
 		}
 		// Intersect with transaction j: keep the items whose list
 		// contains j, applying item elimination (§3.1.1): an item whose
-		// remaining occurrences cannot lift |K|+1 to minsup is dropped.
+		// remaining occurrences cannot lift weight(K)+w_j to minsup is
+		// dropped.
+		wj := m.db.Weight(j)
 		matched := 0
 		child := make([]ip, 0, len(items))
 		for _, it := range items {
 			tl := m.tids[it.item]
 			if int(it.pos) < len(tl) && tl[it.pos] == int32(j) {
 				matched++
-				if !m.elim || kSize+len(tl)-int(it.pos) >= m.minsup {
+				if !m.elim || kSize+m.remaining(it.item, int(it.pos)) >= m.minsup {
 					child = append(child, ip{item: it.item, pos: it.pos + 1})
 				}
 			}
 		}
 		perfect := matched == len(items)
 		if len(child) > 0 && !m.repo.Contains(m.setOf(child)) {
-			if err := m.exploreLists(child, kSize+1, j+1); err != nil {
+			if err := m.exploreLists(child, kSize+wj, j+1); err != nil {
 				return err
 			}
 		}
@@ -202,6 +241,16 @@ func (m *miner) setOf(items []ip) itemset.Set {
 	return m.scratch
 }
 
+// remaining returns the weighted count of the not-yet-scanned
+// transactions containing item (its tid list from pos on), the
+// item-elimination counter of §3.1.1.
+func (m *miner) remaining(item itemset.Item, pos int) int {
+	if m.remW == nil {
+		return len(m.tids[item]) - pos
+	}
+	return int(m.remW[item][pos])
+}
+
 // exploreTable is the same search over the matrix representation: items
 // holds the current intersection (ascending), membership and remaining
 // counts come from M[j][i].
@@ -212,7 +261,7 @@ func (m *miner) exploreTable(items []itemset.Item, kSize, ell int) error {
 			return err
 		}
 		m.ctl.CountOps(1) // one transaction intersection per scan step
-		if kSize+(m.n-j) < m.minsup {
+		if kSize+m.suffW[j] < m.minsup {
 			break
 		}
 		row := m.matrix[j]
@@ -228,7 +277,7 @@ func (m *miner) exploreTable(items []itemset.Item, kSize, ell int) error {
 		}
 		perfect := matched == len(items)
 		if len(child) > 0 && !m.repo.Contains(child) {
-			if err := m.exploreTable(child, kSize+1, j+1); err != nil {
+			if err := m.exploreTable(child, kSize+m.db.Weight(j), j+1); err != nil {
 				return err
 			}
 		}

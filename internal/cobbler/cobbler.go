@@ -18,12 +18,12 @@ package cobbler
 
 import (
 	"repro/internal/carpenter"
-	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Options configures the miner.
@@ -50,8 +50,8 @@ const defaultRowThreshold = 32
 // Mine runs the combined column/row enumeration on db and reports every
 // closed item set with support at least opts.MinSupport in original item
 // codes.
-func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func Mine(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -71,7 +71,7 @@ func minePrepared(pre *prep.Prepared, minsup, threshold int, g *guard.Guard, ctl
 		threshold = defaultRowThreshold
 	}
 	pdb := pre.DB
-	if pdb.Items == 0 || len(pdb.Trans) < minsup {
+	if pdb.NumItems() == 0 || pdb.TotalWeight() < minsup {
 		return nil
 	}
 
@@ -88,17 +88,17 @@ func minePrepared(pre *prep.Prepared, minsup, threshold int, g *guard.Guard, ctl
 
 	// Root: if the whole database is already below the threshold, a
 	// single Carpenter run does everything.
-	if len(pdb.Trans) <= threshold {
-		all := make([]int32, len(pdb.Trans))
+	if pdb.NumTx() <= threshold {
+		all := make([]int32, pdb.NumTx())
 		for k := range all {
 			all[k] = int32(k)
 		}
 		return m.rowEnumerate(all)
 	}
 
-	vert := pdb.ToVertical()
-	exts := make([]ext, 0, pdb.Items)
-	for i := 0; i < pdb.Items; i++ {
+	vert := pdb.Vertical()
+	exts := make([]ext, 0, pdb.NumItems())
+	for i := 0; i < pdb.NumItems(); i++ {
 		exts = append(exts, ext{item: itemset.Item(i), tids: vert.Tids[i]})
 	}
 	return m.mine(nil, exts)
@@ -112,7 +112,7 @@ type ext struct {
 type miner struct {
 	minsup    int
 	threshold int
-	db        *dataset.Database
+	db        *txdb.DB
 	pre       *prep.Prepared
 	rep       result.Reporter
 	ctl       *mining.Control
@@ -130,9 +130,11 @@ func (m *miner) mine(prefix itemset.Set, exts []ext) error {
 			return err
 		}
 		m.ctl.CountOps(len(exts) - idx - 1) // tid-list intersections below
-		supp := len(e.tids)
+		supp := m.db.TidsWeight(e.tids)
 
-		if supp <= m.threshold {
+		// The switch compares distinct rows, not weight: row enumeration
+		// is exponential in the number of rows in the block.
+		if len(e.tids) <= m.threshold {
 			// Row switch: a Carpenter run over this cover finds every
 			// closed set whose cover is contained in it — which includes
 			// everything this subtree could produce. The sibling
@@ -152,10 +154,10 @@ func (m *miner) mine(prefix itemset.Set, exts []ext) error {
 		perfect := itemset.Set{}
 		for _, f := range exts[idx+1:] {
 			shared := intersectTids(e.tids, f.tids)
-			if len(shared) < m.minsup {
+			if m.db.TidsWeight(shared) < m.minsup {
 				continue
 			}
-			if len(shared) == supp {
+			if len(shared) == len(e.tids) {
 				perfect = append(perfect, f.item)
 				continue
 			}
@@ -185,14 +187,17 @@ func (m *miner) mine(prefix itemset.Set, exts []ext) error {
 // (every transaction containing such a set lies in the block), so results
 // can be reported directly after deduplication.
 func (m *miner) rowEnumerate(tids []int32) error {
-	if len(tids) < m.minsup {
+	if m.db.TidsWeight(tids) < m.minsup {
 		return nil
 	}
-	sub := &dataset.Database{Items: m.db.Items, Trans: make([]itemset.Set, len(tids))}
-	for i, t := range tids {
-		sub.Trans[i] = m.db.Trans[t]
+	// The block database is rebuilt through the builder so weights ride
+	// along; rows alias the parent's items column only during the copy.
+	b := txdb.NewBuilder(len(tids), 0)
+	b.SetNumItems(m.db.NumItems())
+	for _, t := range tids {
+		b.AddWeighted(m.db.Tx(int(t)), m.db.Weight(int(t)))
 	}
-	return carpenter.Mine(sub, carpenter.Options{
+	return carpenter.Mine(b.Build(), carpenter.Options{
 		MinSupport: m.minsup,
 		Variant:    carpenter.Table,
 		Done:       doneOf(m.ctl),

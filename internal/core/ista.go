@@ -1,12 +1,12 @@
 package core
 
 import (
-	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Options configures the IsTa miner. The zero value requests the paper's
@@ -40,8 +40,8 @@ const pruneMinNodes = 4096
 // least opts.MinSupport, in the database's original item codes. It is the
 // entry point for the paper's primary algorithm; engine-driven runs enter
 // through the registration in register.go instead.
-func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func Mine(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -56,7 +56,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 // minePrepared is the IsTa core on an already preprocessed database.
 func minePrepared(pre *prep.Prepared, minsup int, disablePruning bool, ctl *mining.Control, rep result.Reporter) error {
 	pdb := pre.DB
-	if pdb.Items == 0 {
+	if pdb.NumItems() == 0 {
 		return nil
 	}
 
@@ -68,7 +68,7 @@ func minePrepared(pre *prep.Prepared, minsup int, disablePruning bool, ctl *mini
 		remain = append([]int(nil), pre.Freq...)
 	}
 
-	tree := NewTree(pdb.Items)
+	tree := NewTree(pdb.NumItems())
 	// Poll cancellation and the node budget inside the intersection passes
 	// too: a single pass over a large tree can both exceed the budget (the
 	// pass creates the intersection nodes) and delay a timeout arbitrarily.
@@ -76,12 +76,14 @@ func minePrepared(pre *prep.Prepared, minsup int, disablePruning bool, ctl *mini
 		return ctl.PollNodes(tree.NodeCount()) != nil || ctl.Canceled()
 	})
 	lastPruneNodes := 0
-	for _, t := range pdb.Trans {
+	for k, n := 0, pdb.NumTx(); k < n; k++ {
+		t := pdb.Tx(k)
+		w := pdb.Weight(k)
 		if err := ctl.Tick(); err != nil {
 			return err
 		}
 		ctl.CountOps(1) // one cumulative intersection pass per transaction
-		tree.AddTransaction(t)
+		tree.AddWeighted(t, w)
 		if tree.Aborted() {
 			return ctl.Cause()
 		}
@@ -92,7 +94,7 @@ func minePrepared(pre *prep.Prepared, minsup int, disablePruning bool, ctl *mini
 			continue
 		}
 		for _, i := range t {
-			remain[i]--
+			remain[i] -= w
 		}
 		// Prune when the tree has grown substantially since the last
 		// pass; the pass is linear in the tree size, so amortized cost

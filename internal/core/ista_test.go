@@ -202,8 +202,9 @@ func TestPruneDirect(t *testing.T) {
 
 		pre := prep.Prepare(db, minsup, prep.Config{Items: prep.OrderAscFreq, Trans: prep.OrderSizeAsc})
 		remain := append([]int(nil), pre.Freq...)
-		tree := NewTree(pre.DB.Items)
-		for _, tr := range pre.DB.Trans {
+		tree := NewTree(pre.DB.NumItems())
+		for k := 0; k < pre.DB.NumTx(); k++ {
+			tr := pre.DB.Tx(k)
 			tree.AddTransaction(tr)
 			for _, i := range tr {
 				remain[i]--

@@ -1,15 +1,17 @@
-// Package dataset provides the transaction database representation shared
-// by all miners: validation, frequency counting, database transposition
-// (§4), and the horizontal / vertical / matrix views the individual
-// algorithms consume. The preprocessing pipeline the paper's §3.4
-// describes (infrequent-item removal, frequency recoding, transaction
-// ordering) lives in internal/prep.
+// Package dataset is the row-oriented transaction database of the public
+// API and the I/O layer: FIMI-format reading/writing, validation,
+// transposition (§4), and summary statistics. The mining layers do not
+// consume it directly anymore — every miner runs on the flat columnar
+// store of internal/txdb, and *Database is a thin adapter (it implements
+// txdb.Source) feeding that representation. The preprocessing pipeline the
+// paper's §3.4 describes lives in internal/prep.
 package dataset
 
 import (
 	"fmt"
 
 	"repro/internal/itemset"
+	"repro/internal/txdb"
 )
 
 // Database is a transaction database over a dense item universe
@@ -86,6 +88,36 @@ func (db *Database) Validate() error {
 		}
 	}
 	return nil
+}
+
+// NumItems implements txdb.Source.
+func (db *Database) NumItems() int { return db.Items }
+
+// NumTx implements txdb.Source.
+func (db *Database) NumTx() int { return len(db.Trans) }
+
+// Tx implements txdb.Source; the returned set aliases the database row and
+// must not be modified.
+func (db *Database) Tx(k int) itemset.Set { return db.Trans[k] }
+
+// Weight implements txdb.Source. Row databases carry no weights: duplicate
+// transactions appear as separate rows, each with weight 1.
+func (db *Database) Weight(k int) int { return 1 }
+
+// FromSource materializes any columnar source back into a row database.
+// Weighted rows are expanded into Weight(k) identical rows, so the
+// multiset semantics (and hence every support) are preserved exactly.
+func FromSource(src txdb.Source) *Database {
+	n := src.NumTx()
+	trans := make([]itemset.Set, 0, n)
+	for k := 0; k < n; k++ {
+		t := src.Tx(k).Clone()
+		trans = append(trans, t)
+		for w := src.Weight(k); w > 1; w-- {
+			trans = append(trans, t)
+		}
+	}
+	return &Database{Items: src.NumItems(), Trans: trans}
 }
 
 // ItemFrequencies returns, for every item code, the number of transactions

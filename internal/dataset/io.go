@@ -4,12 +4,14 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/itemset"
+	"repro/internal/txdb"
 )
 
 // Read parses a database in the FIMI workshop format used by the
@@ -53,6 +55,9 @@ func Read(r io.Reader) (*Database, error) {
 				}
 				if v < 0 {
 					return nil, fmt.Errorf("dataset: line %d: negative item %d", ln+1, v)
+				}
+				if v > math.MaxInt32 {
+					return nil, fmt.Errorf("dataset: line %d: item %d exceeds the item code range", ln+1, v)
 				}
 				t = append(t, itemset.Item(v))
 			}
@@ -129,6 +134,34 @@ func Write(w io.Writer, db *Database) error {
 		}
 		if err := bw.WriteByte('\n'); err != nil {
 			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSource renders any transaction source in FIMI format, streaming
+// row by row without materializing a row database. A row of weight w is
+// written w times, so Read(WriteSource(db)) reproduces the multiset
+// exactly. Item codes are written numerically (generic sources carry no
+// name table; use Write with a *Database for named output).
+func WriteSource(w io.Writer, src txdb.Source) error {
+	bw := bufio.NewWriter(w)
+	for k, n := 0, src.NumTx(); k < n; k++ {
+		t := src.Tx(k)
+		for rep := src.Weight(k); rep > 0; rep-- {
+			for i, it := range t {
+				if i > 0 {
+					if err := bw.WriteByte(' '); err != nil {
+						return err
+					}
+				}
+				if _, err := bw.WriteString(strconv.Itoa(int(it))); err != nil {
+					return err
+				}
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()

@@ -9,13 +9,13 @@
 package eclat
 
 import (
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Target selects what Mine reports.
@@ -54,8 +54,8 @@ type ext struct {
 }
 
 // Mine runs Eclat on db, reporting patterns in original item codes.
-func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func Mine(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -70,7 +70,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 // minePrepared is the Eclat search on an already preprocessed database.
 func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Control, rep result.Reporter) error {
 	pdb := pre.DB
-	if pdb.Items == 0 {
+	if pdb.NumItems() == 0 {
 		return nil
 	}
 
@@ -78,6 +78,7 @@ func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Con
 		minsup: minsup,
 		target: target,
 		pre:    pre,
+		db:     pdb,
 		rep:    rep,
 		ctl:    ctl,
 	}
@@ -104,15 +105,16 @@ type eclatMiner struct {
 	minsup int
 	target Target
 	pre    *prep.Prepared
+	db     *txdb.DB
 	rep    result.Reporter
 	ctl    *mining.Control
 	cfi    result.CFITree
 }
 
-func (m *eclatMiner) run(pdb *dataset.Database) error {
-	vert := pdb.ToVertical()
-	root := make([]ext, 0, pdb.Items)
-	for i := 0; i < pdb.Items; i++ {
+func (m *eclatMiner) run(pdb *txdb.DB) error {
+	vert := pdb.Vertical()
+	root := make([]ext, 0, pdb.NumItems())
+	for i := 0; i < pdb.NumItems(); i++ {
 		// Prepare already removed infrequent items.
 		root = append(root, ext{item: itemset.Item(i), tids: vert.Tids[i]})
 	}
@@ -127,7 +129,7 @@ func (m *eclatMiner) mine(prefix itemset.Set, exts []ext) error {
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
-		supp := len(e.tids)
+		supp := m.db.TidsWeight(e.tids)
 		m.ctl.CountOps(len(exts) - idx - 1) // tid-list intersections below
 
 		// Intersect with the remaining extensions.
@@ -135,10 +137,10 @@ func (m *eclatMiner) mine(prefix itemset.Set, exts []ext) error {
 		var perfect itemset.Set
 		for _, f := range exts[idx+1:] {
 			shared := intersectTids(e.tids, f.tids)
-			if len(shared) < m.minsup {
+			if m.db.TidsWeight(shared) < m.minsup {
 				continue
 			}
-			if m.target == Closed && len(shared) == supp {
+			if m.target == Closed && len(shared) == len(e.tids) {
 				// f.item is a perfect extension of prefix ∪ {e.item}:
 				// absorb it into the closure candidate instead of
 				// enumerating both halves of the split (§2.2).

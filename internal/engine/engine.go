@@ -17,7 +17,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
@@ -25,6 +24,7 @@ import (
 	"repro/internal/prep"
 	"repro/internal/result"
 	"repro/internal/retry"
+	"repro/internal/txdb"
 )
 
 // Target selects which family of frequent item sets a run mines. The zero
@@ -116,7 +116,7 @@ var ErrUnsupportedTarget = errors.New("engine: unsupported target")
 // the miner itself; Run adds nothing and swallows nothing, so the typed
 // guard errors and the valid-prefix contract (DESIGN.md §5b) pass through
 // unchanged.
-func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) error {
+func Run(db txdb.Source, name string, spec Spec, rep result.Reporter) error {
 	reg, ok := Lookup(name)
 	if !ok {
 		return fmt.Errorf("%w %q (available: %s)", ErrUnknownAlgorithm, name, strings.Join(Names(), ", "))
@@ -124,7 +124,7 @@ func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) erro
 	if !reg.SupportsTarget(spec.Target) {
 		return fmt.Errorf("%w: %s does not mine %s sets", ErrUnsupportedTarget, reg.Name, spec.Target)
 	}
-	if err := db.Validate(); err != nil {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	if spec.MinSupport < 1 {
@@ -143,8 +143,8 @@ func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) erro
 			Target:       spec.Target,
 			MinSupport:   spec.MinSupport,
 			Parallel:     parallel,
-			Transactions: len(db.Trans),
-			Items:        db.Items,
+			Transactions: txdb.TotalWeightOf(db),
+			Items:        db.NumItems(),
 		}
 	}
 	if spec.Sink != nil {
@@ -159,12 +159,12 @@ func Run(db *dataset.Database, name string, spec Spec, rep result.Reporter) erro
 	spec.run.Span(obs.PhasePrep, start)
 	if spec.Stats != nil {
 		spec.Stats.PrepTime = prepDone.Sub(start)
-		spec.Stats.PreppedTransactions = len(pre.DB.Trans)
-		spec.Stats.PreppedItems = pre.DB.Items
+		spec.Stats.PreppedTransactions = pre.DB.NumTx()
+		spec.Stats.PreppedItems = pre.DB.NumItems()
 	}
 
 	var err error
-	if pre.DB.Items > 0 {
+	if pre.DB.NumItems() > 0 {
 		fn := reg.Mine
 		if parallel {
 			fn = reg.parallel

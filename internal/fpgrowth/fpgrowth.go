@@ -15,13 +15,13 @@
 package fpgrowth
 
 import (
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Target selects what Mine reports.
@@ -94,8 +94,8 @@ func (t *fpTree) insert(path []int32, count int32) {
 
 // Mine runs FP-growth / FP-close on db and reports patterns in original
 // item codes.
-func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func Mine(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -113,17 +113,15 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 // database.
 func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Control, rep result.Reporter) error {
 	pdb := pre.DB
-	if pdb.Items == 0 {
+	if pdb.NumItems() == 0 {
 		return nil
 	}
 
-	tree := newFPTree(pdb.Items)
-	for _, tr := range pdb.Trans {
-		path := make([]int32, len(tr))
-		for i, it := range tr {
-			path[i] = int32(it)
-		}
-		tree.insert(path, 1)
+	tree := newFPTree(pdb.NumItems())
+	for k, n := 0, pdb.NumTx(); k < n; k++ {
+		// Rows are []int32 already — the FP-tree consumes them directly,
+		// with the row weight as the path count.
+		tree.insert(pdb.Tx(k), int32(pdb.Weight(k)))
 	}
 
 	m := &fpMiner{

@@ -12,8 +12,8 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/txdb"
 )
 
 // ExpressionConfig describes a synthetic gene expression experiment: a
@@ -138,44 +138,50 @@ const (
 // between is neither. Item code 2*x encodes "x over-expressed" and 2*x+1
 // encodes "x under-expressed", where x is a condition or a gene depending
 // on the orientation.
-func Discretize(m *Matrix, hi, lo float64, orient Orientation) *dataset.Database {
+func Discretize(m *Matrix, hi, lo float64, orient Orientation) *txdb.DB {
+	// Rows are emitted straight into the flat columns; the item codes 2*x
+	// and 2*x+1 are generated in ascending x order, so every row is
+	// canonical as produced and needs no per-row sort or copy.
+	row := make(itemset.Set, 0, 64)
 	if orient == GenesAsTransactions {
-		trans := make([]itemset.Set, m.Genes)
+		b := txdb.NewBuilder(m.Genes, 0)
+		b.SetNumItems(2 * m.Conditions)
 		for g := 0; g < m.Genes; g++ {
-			var t itemset.Set
+			row = row[:0]
 			for c := 0; c < m.Conditions; c++ {
 				switch v := m.At(g, c); {
 				case v > hi:
-					t = append(t, itemset.Item(2*c))
+					row = append(row, itemset.Item(2*c))
 				case v < -lo:
-					t = append(t, itemset.Item(2*c+1))
+					row = append(row, itemset.Item(2*c+1))
 				}
 			}
-			trans[g] = t
+			b.AddSet(row)
 		}
-		return dataset.New(trans, 2*m.Conditions)
+		return b.Build()
 	}
-	trans := make([]itemset.Set, m.Conditions)
+	b := txdb.NewBuilder(m.Conditions, 0)
+	b.SetNumItems(2 * m.Genes)
 	for c := 0; c < m.Conditions; c++ {
-		var t itemset.Set
+		row = row[:0]
 		for g := 0; g < m.Genes; g++ {
 			switch v := m.At(g, c); {
 			case v > hi:
-				t = append(t, itemset.Item(2*g))
+				row = append(row, itemset.Item(2*g))
 			case v < -lo:
-				t = append(t, itemset.Item(2*g+1))
+				row = append(row, itemset.Item(2*g+1))
 			}
 		}
-		trans[c] = t
+		b.AddSet(row)
 	}
-	return dataset.New(trans, 2*m.Genes)
+	return b.Build()
 }
 
 // Yeast builds the stand-in for the baker's yeast compendium in the mined
 // orientation of Figure 5: few transactions (conditions), very many items
 // (gene/polarity pairs). scale ≈ 1 gives roughly the paper's shape
 // (300 × ~12000); the bench harness uses a smaller scale by default.
-func Yeast(scale float64, seed int64) *dataset.Database {
+func Yeast(scale float64, seed int64) *txdb.DB {
 	// Genes scale linearly, conditions (= transactions) with the square
 	// root, so that scaled-down workloads keep a realistic transaction
 	// count (the paper's regime depends on n more than on |B|).
@@ -203,7 +209,7 @@ func Yeast(scale float64, seed int64) *dataset.Database {
 // NCBI60 builds the stand-in for the NCBI60 cancer cell line data set of
 // Figure 6: ~60 transactions with dense common structure, mined at
 // supports close to the transaction count.
-func NCBI60(scale float64, seed int64) *dataset.Database {
+func NCBI60(scale float64, seed int64) *txdb.DB {
 	genes := int(4000 * scale)
 	if genes < 50 {
 		genes = 50
@@ -227,7 +233,7 @@ func NCBI60(scale float64, seed int64) *dataset.Database {
 // Figure 7: 64 transactions over a very wide sparse binary feature space
 // with correlated feature blocks. scale ≈ 1 gives 139,351 features like
 // the paper; the default bench scale is much smaller.
-func Thrombin(scale float64, seed int64) *dataset.Database {
+func Thrombin(scale float64, seed int64) *txdb.DB {
 	features := int(139351 * scale)
 	if features < 200 {
 		features = 200
@@ -258,27 +264,31 @@ func Thrombin(scale float64, seed int64) *dataset.Database {
 			activity[b] = 0.20
 		}
 	}
-	trans := make([]itemset.Set, n)
+	out := txdb.NewBuilder(n, 0)
+	out.SetNumItems(features)
+	row := make(itemset.Set, 0, 1024)
 	for k := 0; k < n; k++ {
-		var t itemset.Set
+		// Feature codes are generated in ascending order, so the row is
+		// canonical as produced and goes straight into the flat columns.
+		row = row[:0]
 		f := 0
 		for b := 0; b < nBlocks; b++ {
 			active := rng.Float64() < activity[b]
 			for j := 0; j < blockSize; j++ {
 				if active && rng.Float64() < 0.85 {
-					t = append(t, itemset.Item(f))
+					row = append(row, itemset.Item(f))
 				}
 				f++
 			}
 		}
 		for ; f < features; f++ {
 			if rng.Float64() < 0.004 {
-				t = append(t, itemset.Item(f))
+				row = append(row, itemset.Item(f))
 			}
 		}
-		trans[k] = t
+		out.AddSet(row)
 	}
-	return dataset.New(trans, features)
+	return out.Build()
 }
 
 // WebView builds the stand-in for the transposed BMS-WebView-1 data set of
@@ -286,7 +296,7 @@ func Thrombin(scale float64, seed int64) *dataset.Database {
 // pages) transposed so that pages become the transactions and the many
 // original transactions become items. scale ≈ 1 approximates the paper's
 // 497 × 59,602 shape.
-func WebView(scale float64, seed int64) *dataset.Database {
+func WebView(scale float64, seed int64) *txdb.DB {
 	// Pages (= transactions after transposition) scale with the square
 	// root so scaled-down workloads keep a realistic transaction count.
 	pages := int(497 * math.Sqrt(scale))
@@ -316,9 +326,14 @@ func WebView(scale float64, seed int64) *dataset.Database {
 		pool := rng.Perm(pages)[:30]
 		topics[i] = pool
 	}
-	trans := make([]itemset.Set, clicks)
-	for k := range trans {
-		var t itemset.Set
+	b := txdb.NewBuilder(clicks, 3*clicks)
+	b.SetNumItems(pages)
+	row := make(itemset.Set, 0, 32)
+	for k := 0; k < clicks; k++ {
+		// Sessions sample pages with repetition and out of order; AddRow
+		// canonicalizes the row in place inside the flat columns (this
+		// replaces the per-row itemset.New sort-and-dedup allocation).
+		row = row[:0]
 		if rng.Float64() < 0.25 {
 			// Topic session with a heavy-tailed length.
 			topic := topics[rng.Intn(nTopics)]
@@ -327,7 +342,7 @@ func WebView(scale float64, seed int64) *dataset.Database {
 				length += rng.Intn(12)
 			}
 			for j := 0; j < length; j++ {
-				t = append(t, itemset.Item(topic[rng.Intn(len(topic))]))
+				row = append(row, itemset.Item(topic[rng.Intn(len(topic))]))
 			}
 		} else {
 			length := 1
@@ -335,13 +350,12 @@ func WebView(scale float64, seed int64) *dataset.Database {
 				length++
 			}
 			for j := 0; j < length; j++ {
-				t = append(t, itemset.Item(int(zipf.Uint64())))
+				row = append(row, itemset.Item(int(zipf.Uint64())))
 			}
 		}
-		trans[k] = itemset.New(t...)
+		b.AddRow(row)
 	}
-	db := dataset.New(trans, pages)
-	return db.Transpose()
+	return b.Build().Transpose()
 }
 
 // QuestConfig parameterises the market-basket generator in the spirit of
@@ -367,7 +381,7 @@ type QuestConfig struct {
 
 // Quest generates a market-basket style database: transactions are built
 // from randomly chosen, partially corrupted base patterns.
-func Quest(cfg QuestConfig) *dataset.Database {
+func Quest(cfg QuestConfig) *txdb.DB {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if cfg.Patterns < 1 {
 		cfg.Patterns = 1
@@ -409,30 +423,35 @@ func Quest(cfg QuestConfig) *dataset.Database {
 		}
 	}
 
-	trans := make([]itemset.Set, cfg.Transactions)
-	for k := range trans {
-		var t itemset.Set
-		for len(t) < cfg.AvgLen {
+	out := txdb.NewBuilder(cfg.Transactions, cfg.Transactions*cfg.AvgLen)
+	out.SetNumItems(cfg.Items)
+	row := make(itemset.Set, 0, 32)
+	for k := 0; k < cfg.Transactions; k++ {
+		// Patterns overlap and bundles append out of order; AddRow
+		// canonicalizes the row in place inside the flat columns (this
+		// replaces the per-row itemset.New sort-and-dedup allocation).
+		row = row[:0]
+		for len(row) < cfg.AvgLen {
 			p := pick()
 			for _, it := range p {
 				// Corruption: drop pattern items occasionally.
 				if rng.Float64() < 0.85 {
-					t = append(t, it)
+					row = append(row, it)
 				}
 			}
 			if rng.Float64() < 0.4 {
 				break
 			}
 		}
-		if len(t) == 0 {
-			t = append(t, itemset.Item(rng.Intn(cfg.Items)))
+		if len(row) == 0 {
+			row = append(row, itemset.Item(rng.Intn(cfg.Items)))
 		}
-		for _, it := range t {
+		for _, it := range row {
 			if b, ok := bundle[it]; ok {
-				t = append(t, b)
+				row = append(row, b)
 			}
 		}
-		trans[k] = itemset.New(t...)
+		out.AddRow(row)
 	}
-	return dataset.New(trans, cfg.Items)
+	return out.Build()
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/itemset"
+	"repro/internal/txdb"
 )
 
 func TestExpressionDeterministic(t *testing.T) {
@@ -54,39 +55,39 @@ func TestDiscretizeOrientations(t *testing.T) {
 		0.0, 0.3, -0.25,
 	}}
 	byGene := Discretize(m, 0.2, 0.2, GenesAsTransactions)
-	if len(byGene.Trans) != 2 || byGene.Items != 6 {
-		t.Fatalf("byGene shape: %d × %d", len(byGene.Trans), byGene.Items)
+	if byGene.NumTx() != 2 || byGene.NumItems() != 6 {
+		t.Fatalf("byGene shape: %d × %d", byGene.NumTx(), byGene.NumItems())
 	}
 	// Gene 0: cond 0 over (item 0), cond 1 under (item 3).
-	if !byGene.Trans[0].Equal(itemset.FromInts(0, 3)) {
-		t.Fatalf("gene 0 = %v", byGene.Trans[0])
+	if !byGene.Tx(0).Equal(itemset.FromInts(0, 3)) {
+		t.Fatalf("gene 0 = %v", byGene.Tx(0))
 	}
 	// Gene 1: cond 1 over (item 2), cond 2 under (item 5).
-	if !byGene.Trans[1].Equal(itemset.FromInts(2, 5)) {
-		t.Fatalf("gene 1 = %v", byGene.Trans[1])
+	if !byGene.Tx(1).Equal(itemset.FromInts(2, 5)) {
+		t.Fatalf("gene 1 = %v", byGene.Tx(1))
 	}
 
 	byCond := Discretize(m, 0.2, 0.2, ConditionsAsTransactions)
-	if len(byCond.Trans) != 3 || byCond.Items != 4 {
-		t.Fatalf("byCond shape: %d × %d", len(byCond.Trans), byCond.Items)
+	if byCond.NumTx() != 3 || byCond.NumItems() != 4 {
+		t.Fatalf("byCond shape: %d × %d", byCond.NumTx(), byCond.NumItems())
 	}
 	// Condition 0: gene 0 over (item 0).
-	if !byCond.Trans[0].Equal(itemset.FromInts(0)) {
-		t.Fatalf("cond 0 = %v", byCond.Trans[0])
+	if !byCond.Tx(0).Equal(itemset.FromInts(0)) {
+		t.Fatalf("cond 0 = %v", byCond.Tx(0))
 	}
 	// Condition 1: gene 0 under (item 1), gene 1 over (item 2).
-	if !byCond.Trans[1].Equal(itemset.FromInts(1, 2)) {
-		t.Fatalf("cond 1 = %v", byCond.Trans[1])
+	if !byCond.Tx(1).Equal(itemset.FromInts(1, 2)) {
+		t.Fatalf("cond 1 = %v", byCond.Tx(1))
 	}
 	// Condition 2: gene 1 under (item 3).
-	if !byCond.Trans[2].Equal(itemset.FromInts(3)) {
-		t.Fatalf("cond 2 = %v", byCond.Trans[2])
+	if !byCond.Tx(2).Equal(itemset.FromInts(3)) {
+		t.Fatalf("cond 2 = %v", byCond.Tx(2))
 	}
 }
 
 func TestYeastShape(t *testing.T) {
 	db := Yeast(0.1, 1)
-	if err := db.Validate(); err != nil {
+	if err := txdb.Validate(db); err != nil {
 		t.Fatal(err)
 	}
 	s := db.Stats()
@@ -100,14 +101,14 @@ func TestYeastShape(t *testing.T) {
 	}
 	// Deterministic.
 	db2 := Yeast(0.1, 1)
-	if len(db2.Trans) != len(db.Trans) || !db2.Trans[0].Equal(db.Trans[0]) {
+	if db2.NumTx() != db.NumTx() || !db2.Tx(0).Equal(db.Tx(0)) {
 		t.Fatal("Yeast must be deterministic for a fixed seed")
 	}
 }
 
 func TestNCBI60Shape(t *testing.T) {
 	db := NCBI60(0.1, 2)
-	if err := db.Validate(); err != nil {
+	if err := txdb.Validate(db); err != nil {
 		t.Fatal(err)
 	}
 	s := db.Stats()
@@ -116,7 +117,7 @@ func TestNCBI60Shape(t *testing.T) {
 	}
 	// The Figure 6 sweep mines at minsup 46..54; there must be items that
 	// frequent.
-	freq := db.ItemFrequencies()
+	freq := db.ItemFreqs()
 	high := 0
 	for _, f := range freq {
 		if f >= 46 {
@@ -130,7 +131,7 @@ func TestNCBI60Shape(t *testing.T) {
 
 func TestThrombinShape(t *testing.T) {
 	db := Thrombin(0.01, 3)
-	if err := db.Validate(); err != nil {
+	if err := txdb.Validate(db); err != nil {
 		t.Fatal(err)
 	}
 	s := db.Stats()
@@ -147,7 +148,7 @@ func TestThrombinShape(t *testing.T) {
 
 func TestWebViewShape(t *testing.T) {
 	db := WebView(0.05, 4)
-	if err := db.Validate(); err != nil {
+	if err := txdb.Validate(db); err != nil {
 		t.Fatal(err)
 	}
 	s := db.Stats()
@@ -166,7 +167,7 @@ func TestQuest(t *testing.T) {
 		Items: 100, Transactions: 500, AvgLen: 8,
 		Patterns: 20, AvgPatternLen: 4, Seed: 5,
 	})
-	if err := db.Validate(); err != nil {
+	if err := txdb.Validate(db); err != nil {
 		t.Fatal(err)
 	}
 	s := db.Stats()
@@ -184,8 +185,8 @@ func TestQuest(t *testing.T) {
 		Items: 100, Transactions: 500, AvgLen: 8,
 		Patterns: 20, AvgPatternLen: 4, Seed: 5,
 	})
-	for k := range db.Trans {
-		if !db.Trans[k].Equal(db2.Trans[k]) {
+	for k := 0; k < db.NumTx(); k++ {
+		if !db.Tx(k).Equal(db2.Tx(k)) {
 			t.Fatal("Quest must be deterministic")
 		}
 	}
@@ -197,20 +198,21 @@ func TestQuestBundles(t *testing.T) {
 		Patterns: 15, AvgPatternLen: 3, Bundles: 10, Seed: 13,
 	}
 	db := Quest(cfg)
-	if err := db.Validate(); err != nil {
+	if err := txdb.Validate(db); err != nil {
 		t.Fatal(err)
 	}
 	// At least one bundle pair must hold: an item b that occurs in every
 	// transaction containing a. Verify by scanning for such a pair among
 	// frequent items.
-	freq := db.ItemFrequencies()
+	freq := db.ItemFreqs()
 	found := false
-	for a := 0; a < db.Items && !found; a++ {
+	for a := 0; a < db.NumItems() && !found; a++ {
 		if freq[a] < 10 {
 			continue
 		}
-		counts := make([]int, db.Items)
-		for _, tr := range db.Trans {
+		counts := make([]int, db.NumItems())
+		for k := 0; k < db.NumTx(); k++ {
+			tr := db.Tx(k)
 			if !tr.Contains(itemset.Item(a)) {
 				continue
 			}
@@ -218,7 +220,7 @@ func TestQuestBundles(t *testing.T) {
 				counts[i]++
 			}
 		}
-		for b := 0; b < db.Items; b++ {
+		for b := 0; b < db.NumItems(); b++ {
 			if b != a && counts[b] == freq[a] {
 				found = true
 				break

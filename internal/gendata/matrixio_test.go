@@ -80,8 +80,8 @@ func TestMatrixCSVRoundTrip(t *testing.T) {
 	// The round-tripped matrix must discretize identically.
 	a := Discretize(m, 0.2, 0.2, ConditionsAsTransactions)
 	b := Discretize(back, 0.2, 0.2, ConditionsAsTransactions)
-	for k := range a.Trans {
-		if !a.Trans[k].Equal(b.Trans[k]) {
+	for k := 0; k < a.NumTx(); k++ {
+		if !a.Tx(k).Equal(b.Tx(k)) {
 			t.Fatalf("row %d differs after round trip", k)
 		}
 	}

@@ -7,12 +7,12 @@
 package lcm
 
 import (
-	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Options configures the miner.
@@ -28,8 +28,8 @@ type Options struct {
 
 // Mine runs the closed-set enumeration on db, reporting patterns in
 // original item codes.
-func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func Mine(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -45,7 +45,7 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 // preprocessed database.
 func minePrepared(pre *prep.Prepared, minsup int, ctl *mining.Control, rep result.Reporter) error {
 	pdb := pre.DB
-	if pdb.Items == 0 || len(pdb.Trans) < minsup {
+	if pdb.NumItems() == 0 || pdb.TotalWeight() < minsup {
 		return nil
 	}
 
@@ -58,20 +58,20 @@ func minePrepared(pre *prep.Prepared, minsup int, ctl *mining.Control, rep resul
 	}
 
 	// Root: the closure of the full transaction set.
-	all := make([]int32, len(pdb.Trans))
+	all := make([]int32, pdb.NumTx())
 	for k := range all {
 		all[k] = int32(k)
 	}
 	root, counts := m.closure(all)
 	if len(root) > 0 {
-		m.rep.Report(m.pre.DecodeSet(root), len(all))
+		m.rep.Report(m.pre.DecodeSet(root), pdb.TotalWeight())
 	}
 	return m.expand(root, all, counts, -1)
 }
 
 type lcmMiner struct {
 	minsup int
-	db     *dataset.Database
+	db     *txdb.DB
 	pre    *prep.Prepared
 	rep    result.Reporter
 	ctl    *mining.Control
@@ -79,19 +79,24 @@ type lcmMiner struct {
 
 // closure computes the closure of the transaction set tids (the items
 // occurring in every listed transaction) and returns it together with the
-// per-item occurrence counts within tids (the conditional frequencies).
-// The counts slice is freshly allocated per call because the recursion
-// needs the parent's counts while expanding children.
+// per-item weighted occurrence counts within tids (the conditional
+// frequencies). An item is in the closure iff its weighted count equals
+// the total weight of tids — with uniform weights, the plain cover-size
+// test. The counts slice is freshly allocated per call because the
+// recursion needs the parent's counts while expanding children.
 func (m *lcmMiner) closure(tids []int32) (itemset.Set, []int) {
-	counts := make([]int, m.db.Items)
+	counts := make([]int, m.db.NumItems())
+	coverW := 0
 	for _, t := range tids {
-		for _, i := range m.db.Trans[t] {
-			counts[i]++
+		w := m.db.Weight(int(t))
+		coverW += w
+		for _, i := range m.db.Tx(int(t)) {
+			counts[i] += w
 		}
 	}
 	var clo itemset.Set
 	for i, c := range counts {
-		if c == len(tids) {
+		if c == coverW {
 			clo = append(clo, itemset.Item(i))
 		}
 	}
@@ -101,8 +106,9 @@ func (m *lcmMiner) closure(tids []int32) (itemset.Set, []int) {
 // expand generates the ppc-extensions of the closed set p (with cover
 // tids and conditional counts) using extension items greater than core.
 func (m *lcmMiner) expand(p itemset.Set, tids []int32, counts []int, core int) error {
-	for i := core + 1; i < m.db.Items; i++ {
-		if counts[i] < m.minsup || counts[i] == len(tids) {
+	coverW := m.db.TidsWeight(tids)
+	for i := core + 1; i < m.db.NumItems(); i++ {
+		if counts[i] < m.minsup || counts[i] == coverW {
 			// Infrequent, or already in p (a perfect extension of p is
 			// in its closure by construction).
 			continue
@@ -112,9 +118,9 @@ func (m *lcmMiner) expand(p itemset.Set, tids []int32, counts []int, core int) e
 		}
 		m.ctl.CountOps(1) // one ppc-extension attempt (cover + closure)
 		// Cover of p ∪ {i}.
-		sub := make([]int32, 0, counts[i])
+		sub := make([]int32, 0, len(tids))
 		for _, t := range tids {
-			if m.db.Trans[t].Contains(itemset.Item(i)) {
+			if m.db.Tx(int(t)).Contains(itemset.Item(i)) {
 				sub = append(sub, t)
 			}
 		}
@@ -124,7 +130,7 @@ func (m *lcmMiner) expand(p itemset.Set, tids []int32, counts []int, core int) e
 		if !prefixPreserved(p, q, itemset.Item(i)) {
 			continue
 		}
-		m.rep.Report(m.pre.DecodeSet(q), len(sub))
+		m.rep.Report(m.pre.DecodeSet(q), m.db.TidsWeight(sub))
 		if err := m.expand(q, sub, qCounts, i); err != nil {
 			return err
 		}

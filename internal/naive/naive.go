@@ -10,12 +10,12 @@
 package naive
 
 import (
-	"repro/internal/dataset"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // FlatOptions configures FlatCumulative.
@@ -39,8 +39,8 @@ type FlatOptions struct {
 // Supports are maintained with the same max rule the prefix tree uses.
 // The scheme is exact but quadratic-ish in the repository size per
 // transaction, which is the point of benchmarking against it.
-func FlatCumulative(db *dataset.Database, opts FlatOptions, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func FlatCumulative(db txdb.Source, opts FlatOptions, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -59,7 +59,12 @@ func FlatCumulative(db *dataset.Database, opts FlatOptions, rep result.Reporter)
 // database.
 func minePrepared(pre *prep.Prepared, minsup int, ctl *mining.Control, rep result.Reporter) error {
 	repo := make(map[string]*flatEntry)
-	for _, t := range pre.DB.Trans {
+	pdb := pre.DB
+	for k, n := 0, pdb.NumTx(); k < n; k++ {
+		t := pdb.Tx(k)
+		// A row of weight w is w identical multiset transactions; the max
+		// rule telescopes, so one pass adding w is exactly w passes adding 1.
+		w := pdb.Weight(k)
 		ctl.CountOps(len(repo)) // one intersection per stored set
 		// Collect the support contribution of this step per result set:
 		// for result r, the best source is max over stored s with s∩t=r of
@@ -88,7 +93,7 @@ func minePrepared(pre *prep.Prepared, minsup int, ctl *mining.Control, rep resul
 			if e.supp > best {
 				best = e.supp
 			}
-			e.supp = best + 1
+			e.supp = best + w
 		}
 		// The flat repository is the structure the node budget bounds.
 		if err := ctl.PollNodes(len(repo)); err != nil {

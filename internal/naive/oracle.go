@@ -3,9 +3,9 @@ package naive
 import (
 	"fmt"
 
-	"repro/internal/dataset"
 	"repro/internal/itemset"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // maxOracleTransactions bounds the 2^n transaction-subset oracle.
@@ -19,11 +19,11 @@ const maxOracleItems = 20
 // intersections whose cover reaches minSupport (§2.4: the closed sets are
 // exactly the intersections of transaction subsets). It only accepts
 // databases with at most 20 transactions.
-func ClosedByTransactionSubsets(db *dataset.Database, minSupport int) (*result.Set, error) {
-	if err := db.Validate(); err != nil {
+func ClosedByTransactionSubsets(db txdb.Source, minSupport int) (*result.Set, error) {
+	if err := txdb.Validate(db); err != nil {
 		return nil, err
 	}
-	n := len(db.Trans)
+	n := db.NumTx()
 	if n > maxOracleTransactions {
 		return nil, fmt.Errorf("naive: oracle limited to %d transactions, got %d", maxOracleTransactions, n)
 	}
@@ -39,10 +39,10 @@ func ClosedByTransactionSubsets(db *dataset.Database, minSupport int) (*result.S
 				continue
 			}
 			if first {
-				inter = db.Trans[k].Clone()
+				inter = db.Tx(k).Clone()
 				first = false
 			} else {
-				inter = inter.Intersect(db.Trans[k])
+				inter = inter.Intersect(db.Tx(k))
 			}
 		}
 		if len(inter) == 0 {
@@ -68,21 +68,21 @@ func ClosedByTransactionSubsets(db *dataset.Database, minSupport int) (*result.S
 // sets" target: it enumerates every non-empty subset of the item
 // universe and keeps the ones whose support reaches minSupport. It only
 // accepts databases with at most 20 items.
-func FrequentByItemSubsets(db *dataset.Database, minSupport int) (*result.Set, error) {
-	if err := db.Validate(); err != nil {
+func FrequentByItemSubsets(db txdb.Source, minSupport int) (*result.Set, error) {
+	if err := txdb.Validate(db); err != nil {
 		return nil, err
 	}
-	if db.Items > maxOracleItems {
-		return nil, fmt.Errorf("naive: oracle limited to %d items, got %d", maxOracleItems, db.Items)
+	if db.NumItems() > maxOracleItems {
+		return nil, fmt.Errorf("naive: oracle limited to %d items, got %d", maxOracleItems, db.NumItems())
 	}
 	if minSupport < 1 {
 		minSupport = 1
 	}
 	var out result.Set
-	items := make(itemset.Set, 0, db.Items)
-	for mask := 1; mask < 1<<uint(db.Items); mask++ {
+	items := make(itemset.Set, 0, db.NumItems())
+	for mask := 1; mask < 1<<uint(db.NumItems()); mask++ {
 		items = items[:0]
-		for i := 0; i < db.Items; i++ {
+		for i := 0; i < db.NumItems(); i++ {
 			if mask&(1<<uint(i)) != 0 {
 				items = append(items, itemset.Item(i))
 			}
@@ -101,21 +101,21 @@ func FrequentByItemSubsets(db *dataset.Database, minSupport int) (*result.Set, e
 // the support-based definition of §2.3 (no superset with equal support,
 // checked via single-item extensions). It only accepts databases with at
 // most 20 items.
-func ClosedByItemSubsets(db *dataset.Database, minSupport int) (*result.Set, error) {
-	if err := db.Validate(); err != nil {
+func ClosedByItemSubsets(db txdb.Source, minSupport int) (*result.Set, error) {
+	if err := txdb.Validate(db); err != nil {
 		return nil, err
 	}
-	if db.Items > maxOracleItems {
-		return nil, fmt.Errorf("naive: oracle limited to %d items, got %d", maxOracleItems, db.Items)
+	if db.NumItems() > maxOracleItems {
+		return nil, fmt.Errorf("naive: oracle limited to %d items, got %d", maxOracleItems, db.NumItems())
 	}
 	if minSupport < 1 {
 		minSupport = 1
 	}
 	var out result.Set
-	items := make(itemset.Set, 0, db.Items)
-	for mask := 1; mask < 1<<uint(db.Items); mask++ {
+	items := make(itemset.Set, 0, db.NumItems())
+	for mask := 1; mask < 1<<uint(db.NumItems()); mask++ {
 		items = items[:0]
-		for i := 0; i < db.Items; i++ {
+		for i := 0; i < db.NumItems(); i++ {
 			if mask&(1<<uint(i)) != 0 {
 				items = append(items, itemset.Item(i))
 			}
@@ -129,7 +129,7 @@ func ClosedByItemSubsets(db *dataset.Database, minSupport int) (*result.Set, err
 		// extension and is not closed (§2.3 and the perfect-extension
 		// remark in §2.2).
 		closed := true
-		for i := 0; i < db.Items && closed; i++ {
+		for i := 0; i < db.NumItems() && closed; i++ {
 			if mask&(1<<uint(i)) != 0 {
 				continue
 			}

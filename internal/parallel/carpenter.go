@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/carpenter"
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // MineCarpenterTable runs the table-based Carpenter search with its
@@ -26,8 +26,8 @@ import (
 // the branch rooted at the first transaction of a set's cover reports its
 // full support. The merged output is emitted in canonical order, which
 // makes it deterministic regardless of scheduling.
-func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func MineCarpenterTable(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -63,7 +63,7 @@ func MineCarpenterTable(db *dataset.Database, opts Options, rep result.Reporter)
 func minePreparedCarpenter(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error {
 	minsup, workers := cfg.minsup, cfg.workers
 	done, g, ctl, run := cfg.done, cfg.g, cfg.ctl, cfg.run
-	if pre.DB.Items == 0 || len(pre.DB.Trans) < minsup {
+	if pre.DB.NumItems() == 0 || pre.DB.TotalWeight() < minsup {
 		return nil
 	}
 	if err := ctl.Tick(); err != nil {

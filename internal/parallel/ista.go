@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // MineIsTa runs IsTa sharded across opts.Workers goroutines and reports
@@ -21,8 +21,8 @@ import (
 // database's original item codes. The reported pattern set is identical to
 // core.Mine's on the same options; the emission order is deterministic but
 // differs from the sequential traversal order.
-func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func MineIsTa(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -48,6 +48,32 @@ func MineIsTa(db *dataset.Database, opts Options, rep result.Reporter) error {
 	}, rep)
 }
 
+// splitByWork cuts the prepared database into workers contiguous zero-copy
+// range views with roughly equal total item counts (the work a cumulative
+// intersection pass is proportional to). Contiguous views share the
+// prepared columns — no per-shard transaction copying — and because the
+// merge phase is order-insensitive, balancing by work instead of
+// round-robin row dealing changes nothing about the result.
+func splitByWork(db *txdb.DB, workers int) []*txdb.DB {
+	n := db.NumTx()
+	total := db.NumIds()
+	shards := make([]*txdb.DB, workers)
+	lo := 0
+	acc := 0
+	for w := 0; w < workers; w++ {
+		// Cut when the running item count reaches the w+1-th share.
+		target := (total * (w + 1)) / workers
+		hi := lo
+		for hi < n && (acc < target || w == workers-1) {
+			acc += db.Len(hi)
+			hi++
+		}
+		shards[w] = db.Slice(lo, hi)
+		lo = hi
+	}
+	return shards
+}
+
 // minePreparedIsTa is the sharded IsTa engine on an already preprocessed
 // database. cfg.done/cfg.g are needed separately from cfg.ctl because
 // each worker builds a private control on them (sharing ctl's Counters,
@@ -59,26 +85,23 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 	minsup, workers := cfg.minsup, cfg.workers
 	done, g, ctl, run := cfg.done, cfg.g, cfg.ctl, cfg.run
 	pdb := pre.DB
-	if pdb.Items == 0 {
+	if pdb.NumItems() == 0 {
 		return nil
 	}
 	if err := ctl.Tick(); err != nil {
 		return err
 	}
 
-	// Phase 1: shard the prepared transactions round-robin (they are
-	// size-sorted, so round-robin balances both count and length) and mine
-	// every shard with a private tree. A globally frequent set X has
-	// shard support at least minsup - (n - n_i) — the other shards can
-	// contribute at most their sizes — so each shard may mine (and prune)
-	// at that floor; it degrades to 1 on many-transaction workloads,
-	// where no shard-local threshold above 1 is sound.
-	n := len(pdb.Trans)
+	// Phase 1: cut the prepared transactions into contiguous zero-copy
+	// range views balanced by work and mine every shard with a private
+	// tree. A globally frequent set X has shard support (weight) at least
+	// minsup - (W - W_i) — the other shards can contribute at most their
+	// total weight — so each shard may mine (and prune) at that floor; it
+	// degrades to 1 on many-transaction workloads, where no shard-local
+	// threshold above 1 is sound.
+	totalW := pdb.TotalWeight()
 	counters := ctl.Counters()
-	shards := make([][]itemset.Set, workers)
-	for i, t := range pdb.Trans {
-		shards[i%workers] = append(shards[i%workers], t)
-	}
+	shards := splitByWork(pdb, workers)
 	patterns := make([][]result.Pattern, workers) // shard-closed sets, prepared codes
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -91,11 +114,11 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 			// share no channels, so no goroutine can block forever — and
 			// the panic surfaces as a *guard.PanicError from firstError.
 			defer guard.Recover(&errs[w])
-			floor := minsup - (n - len(shards[w]))
+			floor := minsup - (totalW - shards[w].TotalWeight())
 			if floor < 1 {
 				floor = 1
 			}
-			patterns[w], errs[w] = mineShard(pdb.Items, shards[w], floor, done, g, counters)
+			patterns[w], errs[w] = mineShard(shards[w], floor, done, g, counters)
 		}(w)
 	}
 	wg.Wait()
@@ -129,12 +152,12 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 		}
 		healed, serr, stop := cfg.supervise("shard", w, true, errs[w], func() (err error) {
 			defer guard.Recover(&err)
-			floor := minsup - (n - len(shards[w]))
+			floor := minsup - (totalW - shards[w].TotalWeight())
 			if floor < 1 {
 				floor = 1
 			}
 			var e error
-			patterns[w], e = mineShard(pdb.Items, shards[w], floor, done, g, counters)
+			patterns[w], e = mineShard(shards[w], floor, done, g, counters)
 			if err == nil {
 				err = e
 			}
@@ -171,9 +194,9 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 	// sets from different shards are combined up front by summing their
 	// weights — exactly equivalent to replaying both — and the replay
 	// runs in ascending set size, the fast order of §3.4.
-	// A shard whose closed-set count exceeds its transaction count gained
+	// A shard whose closed-set count exceeds its row count gained
 	// nothing from closure "compression" (common on sparse basket data);
-	// replaying its raw transactions with weight 1 is cheaper and its
+	// replaying its raw rows at their own weights is cheaper and its
 	// contribution to every node's weighted support becomes exact —
 	// cl_i(X) is then itself an intersection of replayed transactions, so
 	// candidate completeness is unaffected.
@@ -196,9 +219,9 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 		if !covered[w] {
 			continue
 		}
-		if len(shard) >= len(shards[w]) {
-			for _, t := range shards[w] {
-				addReplay(t, 1)
+		if len(shard) >= shards[w].NumTx() {
+			for k, n := 0, shards[w].NumTx(); k < n; k++ {
+				addReplay(shards[w].Tx(k), shards[w].Weight(k))
 			}
 			continue
 		}
@@ -212,13 +235,13 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 		}
 		return itemset.Compare(replay[i].items, replay[j].items) < 0
 	})
-	remain := make([]int, pdb.Items)
+	remain := make([]int, pdb.NumItems())
 	for _, p := range replay {
 		for _, it := range p.items {
 			remain[it] += p.weight
 		}
 	}
-	mtree := core.NewTree(pdb.Items)
+	mtree := core.NewTree(pdb.NumItems())
 	mtree.SetCancel(func() bool {
 		return ctl.PollNodes(mtree.NodeCount()) != nil || ctl.Canceled()
 	})
@@ -254,23 +277,26 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 
 	// Phase 3: recompute every candidate's support exactly against the
 	// covered transactions (vertical tid-list intersection with an early
-	// exit once the running count drops below minsup), fanned out across
+	// exit once the running weight drops below minsup), fanned out across
 	// the workers again. Candidates are fixed before the fan-out and
 	// results land in a preallocated slice, so scheduling cannot affect
-	// the outcome. In a degraded run the vertical view holds only the
-	// surviving shards' transactions, so every computed support is exact
-	// over the covered sub-database — a lower bound on the true support.
-	var vert *dataset.Vertical
-	if len(shardErrs) == 0 {
-		vert = pdb.ToVertical()
-	} else {
-		var covTrans []itemset.Set
+	// the outcome. In a degraded run the count database holds only the
+	// surviving shards' rows (rebuilt through the builder, weights and
+	// all), so every computed support is exact over the covered
+	// sub-database — a lower bound on the true support.
+	countDB := pdb
+	if len(shardErrs) > 0 {
+		b := txdb.NewBuilder(0, 0)
+		b.SetNumItems(pdb.NumItems())
 		for w := range shards {
-			if covered[w] {
-				covTrans = append(covTrans, shards[w]...)
+			if !covered[w] {
+				continue
+			}
+			for k, n := 0, shards[w].NumTx(); k < n; k++ {
+				b.AddWeighted(shards[w].Tx(k), shards[w].Weight(k))
 			}
 		}
-		vert = dataset.New(covTrans, pdb.Items).ToVertical()
+		countDB = b.Build()
 	}
 	supp := make([]int, len(cands))
 	countErrs := make([]error, workers)
@@ -279,7 +305,7 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 		go func(w int) {
 			defer wg.Done()
 			defer guard.Recover(&countErrs[w])
-			countErrs[w] = countStripe(vert, cands, supp, w, workers, minsup, done, g, counters)
+			countErrs[w] = countStripe(countDB, cands, supp, w, workers, minsup, done, g, counters)
 		}(w)
 	}
 	wg.Wait()
@@ -293,7 +319,7 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 		}
 		healed, _, stop := cfg.supervise("recount stripe", w, false, countErrs[w], func() (err error) {
 			defer guard.Recover(&err)
-			if e := countStripe(vert, cands, supp, w, workers, minsup, done, g, counters); err == nil {
+			if e := countStripe(countDB, cands, supp, w, workers, minsup, done, g, counters); err == nil {
 				err = e
 			}
 			return err
@@ -332,31 +358,34 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 
 // countStripe recomputes the exact supports of the candidates assigned
 // to worker stripe w (every workers-th candidate starting at w) against
-// the vertical view. Re-running a stripe is idempotent — supports land
+// db's vertical view. Re-running a stripe is idempotent — supports land
 // in preassigned slots — which is what lets the supervisor retry it.
-func countStripe(vert *dataset.Vertical, cands []itemset.Set, supp []int, w, workers, minsup int, done <-chan struct{}, g *guard.Guard, counters *mining.Counters) error {
+func countStripe(db *txdb.DB, cands []itemset.Set, supp []int, w, workers, minsup int, done <-chan struct{}, g *guard.Guard, counters *mining.Counters) error {
 	wctl := mining.GuardedCounted(done, g, counters)
+	vert := db.Vertical()
 	var bufs [2][]int32
 	for i := w; i < len(cands); i += workers {
 		if err := wctl.Tick(); err != nil {
 			return err
 		}
 		wctl.CountOps(1) // one exact candidate recount
-		supp[i] = countSupport(vert, cands[i], minsup, &bufs)
+		supp[i] = countSupport(db, vert, cands[i], minsup, &bufs)
 	}
 	wctl.Flush()
 	return nil
 }
 
-// mineShard runs the cumulative intersection scheme over one shard and
-// returns its closed sets with shard support at least minsup (the sound
-// shard-local floor computed by the caller) in prepared item codes. When
-// the floor exceeds 1 the standard item-elimination pruning applies
+// mineShard runs the cumulative intersection scheme over one shard view
+// and returns its closed sets with shard support at least minsup (the
+// sound shard-local floor computed by the caller) in prepared item codes.
+// When the floor exceeds 1 the standard item-elimination pruning applies
 // shard-locally. The guard's node budget bounds this shard's private
 // tree; the shared counters (may be nil) receive this shard's ops and
 // checkpoint counts.
-func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{}, g *guard.Guard, counters *mining.Counters) ([]result.Pattern, error) {
+func mineShard(shard *txdb.DB, minsup int, done <-chan struct{}, g *guard.Guard, counters *mining.Counters) ([]result.Pattern, error) {
 	ctl := mining.GuardedCounted(done, g, counters)
+	items := shard.NumItems()
+	n := shard.NumTx()
 	tree := core.NewTree(items)
 	tree.SetCancel(func() bool {
 		return ctl.PollNodes(tree.NodeCount()) != nil || ctl.Canceled()
@@ -364,19 +393,22 @@ func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{},
 	var remain []int
 	if minsup > 1 {
 		remain = make([]int, items)
-		for _, t := range trans {
-			for _, it := range t {
-				remain[it]++
+		for k := 0; k < n; k++ {
+			w := shard.Weight(k)
+			for _, it := range shard.Tx(k) {
+				remain[it] += w
 			}
 		}
 	}
 	lastPruneNodes := 0
-	for _, t := range trans {
+	for k := 0; k < n; k++ {
+		t := shard.Tx(k)
+		w := shard.Weight(k)
 		if err := ctl.Tick(); err != nil {
 			return nil, err
 		}
 		ctl.CountOps(1) // one cumulative intersection pass per transaction
-		tree.AddTransaction(t)
+		tree.AddWeighted(t, w)
 		if tree.Aborted() {
 			return nil, ctl.Cause()
 		}
@@ -387,7 +419,7 @@ func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{},
 			continue
 		}
 		for _, it := range t {
-			remain[it]--
+			remain[it] -= w
 		}
 		if n := tree.NodeCount(); n >= 4096 && n >= lastPruneNodes+lastPruneNodes/8 {
 			tree.Prune(remain, minsup)
@@ -406,15 +438,17 @@ func mineShard(items int, trans []itemset.Set, minsup int, done <-chan struct{},
 	return out, nil
 }
 
-// countSupport returns the exact support of items in the vertical view, or
-// 0 if it cannot reach minsup (an early exit; every value below minsup is
-// equivalent for the caller). bufs holds two reusable intersection buffers
-// so repeated calls do not allocate.
-func countSupport(v *dataset.Vertical, items itemset.Set, minsup int, bufs *[2][]int32) int {
+// countSupport returns the exact weighted support of items in db (vert is
+// db's vertical view), or 0 if it cannot reach minsup (an early exit;
+// every value below minsup is equivalent for the caller). bufs holds two
+// reusable intersection buffers so repeated calls do not allocate. On a
+// uniform database the weight of a tid list is its length, so the checks
+// reduce to the classical count comparisons.
+func countSupport(db *txdb.DB, v *txdb.Vertical, items itemset.Set, minsup int, bufs *[2][]int32) int {
 	cur := v.Tids[items[0]] // borrowed; never written
 	next := 0               // buffer to write the upcoming intersection into
 	for _, it := range items[1:] {
-		if len(cur) < minsup {
+		if db.TidsWeight(cur) < minsup {
 			return 0
 		}
 		other := v.Tids[it]
@@ -437,8 +471,8 @@ func countSupport(v *dataset.Vertical, items itemset.Set, minsup int, bufs *[2][
 		cur = out
 		next = 1 - next
 	}
-	if len(cur) < minsup {
-		return 0
+	if w := db.TidsWeight(cur); w >= minsup {
+		return w
 	}
-	return len(cur)
+	return 0
 }

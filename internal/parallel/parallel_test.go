@@ -11,6 +11,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
@@ -27,7 +28,7 @@ func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
 	return dataset.New(trans, items)
 }
 
-func seqIsTa(t *testing.T, db *dataset.Database, minsup int) *result.Set {
+func seqIsTa(t *testing.T, db txdb.Source, minsup int) *result.Set {
 	t.Helper()
 	var out result.Set
 	if err := core.Mine(db, core.Options{MinSupport: minsup}, out.Collect()); err != nil {
@@ -36,7 +37,7 @@ func seqIsTa(t *testing.T, db *dataset.Database, minsup int) *result.Set {
 	return &out
 }
 
-func parIsTa(t *testing.T, db *dataset.Database, minsup, workers int) *result.Set {
+func parIsTa(t *testing.T, db txdb.Source, minsup, workers int) *result.Set {
 	t.Helper()
 	var out result.Set
 	if err := MineIsTa(db, Options{MinSupport: minsup, Workers: workers}, out.Collect()); err != nil {
@@ -72,7 +73,7 @@ func TestIsTaMatchesSequentialGendata(t *testing.T) {
 	exprM := gendata.Expression(gendata.ExpressionConfig{Genes: 120, Conditions: 24, Modules: 5, Seed: 9})
 	cases := []struct {
 		name   string
-		db     *dataset.Database
+		db     *txdb.DB
 		minsup int
 	}{
 		// NCBI60/Thrombin-shaped data (few, very dense transactions) is
@@ -127,7 +128,7 @@ func TestCarpenterTableMatchesSequential(t *testing.T) {
 func TestCarpenterTableGendata(t *testing.T) {
 	cases := []struct {
 		name   string
-		db     *dataset.Database
+		db     *txdb.DB
 		minsup int
 	}{
 		{"ncbi60", gendata.NCBI60(0.25, 5), 48},
@@ -157,7 +158,7 @@ func TestDeterministicEmissionOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	db := randDB(rng, 14, 60, 0.35)
 	for _, workers := range []int{2, 5} {
-		run := func(mine func(*dataset.Database, Options, result.Reporter) error) []result.Pattern {
+		run := func(mine func(txdb.Source, Options, result.Reporter) error) []result.Pattern {
 			var seq []result.Pattern
 			err := mine(db, Options{MinSupport: 3, Workers: workers}, result.ReporterFunc(
 				func(items itemset.Set, supp int) {
@@ -168,7 +169,7 @@ func TestDeterministicEmissionOrder(t *testing.T) {
 			}
 			return seq
 		}
-		for name, mine := range map[string]func(*dataset.Database, Options, result.Reporter) error{
+		for name, mine := range map[string]func(txdb.Source, Options, result.Reporter) error{
 			"ista": MineIsTa, "carpenter-table": MineCarpenterTable,
 		} {
 			a, b := run(mine), run(mine)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/txdb"
 )
 
 // FuzzPrepareInvariants checks the preprocessing invariants on arbitrary
@@ -22,17 +23,19 @@ func FuzzPrepareInvariants(f *testing.F) {
 		if p.OrigTransactions != len(db.Trans) {
 			t.Fatalf("OrigTransactions = %d, want %d", p.OrigTransactions, len(db.Trans))
 		}
-		if err := p.DB.Validate(); err != nil {
+		if err := txdb.Validate(p.DB); err != nil {
 			t.Fatalf("prepared db invalid: %v", err)
 		}
 		// Every surviving item is frequent, and frequencies are exact.
-		freq := make([]int, p.DB.Items)
-		for _, tr := range p.DB.Trans {
+		freq := make([]int, p.DB.NumItems())
+		for k := 0; k < p.DB.NumTx(); k++ {
+			tr := p.DB.Tx(k)
 			if len(tr) == 0 {
 				t.Fatal("empty transaction survived preparation")
 			}
+			w := p.DB.Weight(k)
 			for _, i := range tr {
-				freq[i]++
+				freq[i] += w
 			}
 		}
 		for i, got := range freq {

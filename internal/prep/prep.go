@@ -7,15 +7,26 @@
 //
 // Miners never re-implement any of these steps; they declare their
 // preprocessing requirements as a Config (through their engine
-// registration, see internal/engine) and receive a Prepared database.
+// registration, see internal/engine) and receive a Prepared database —
+// an immutable columnar txdb.DB that every layer then shares without
+// copying.
+//
+// The pipeline materializes the database exactly once: rows are encoded
+// straight into flat columnar arrays (recoding and re-canonicalizing each
+// row in place inside the flat buffer), and transaction reordering is an
+// index-permutation gather. The whole of Prepare performs a constant
+// number of allocations regardless of database size — asserted by a
+// checked-in allocation budget in the package benchmarks — where the
+// previous row-oriented pipeline allocated per transaction.
 package prep
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
-	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/txdb"
 )
 
 // ItemOrder selects how item codes are (re)assigned during preprocessing.
@@ -76,55 +87,80 @@ func (o TransOrder) String() string {
 type Config struct {
 	Items ItemOrder
 	Trans TransOrder
+	// Merge, when set, merges identical transactions into one weighted row
+	// after recoding (the §2 multiset reduction). All miners count support
+	// by weight, so the mined patterns are unchanged while repeated rows
+	// are traversed once. Off by default: the registered configurations
+	// keep per-row semantics so outputs stay bit-identical to the
+	// row-oriented pipeline.
+	Merge bool
 }
 
 func (c Config) String() string {
-	return c.Items.String() + " " + c.Trans.String()
+	s := c.Items.String() + " " + c.Trans.String()
+	if c.Merge {
+		s += " merge"
+	}
+	return s
 }
+
+// PrepAllocBudget is the checked-in allocation budget for one Prepare pass
+// over an already-columnar source: the deliberate one-off allocations
+// (flat columns, permutation, frequency/code tables, sort machinery) fit
+// comfortably below it, while any reintroduced per-transaction copy blows
+// past it on the thousands-of-rows test databases. Both the package test
+// and the bench harness's CI smoke assertion enforce it.
+const PrepAllocBudget = 64
 
 // Prepared is a preprocessed database: infrequent items removed, items
 // recoded, transactions reordered, plus the bookkeeping needed to report
 // results in the original item codes.
 type Prepared struct {
-	// DB is the preprocessed database (dense recoded universe).
-	DB *dataset.Database
+	// DB is the preprocessed database (dense recoded universe) in the
+	// shared columnar representation. It is immutable; miners, engines and
+	// parallel shards alias it freely.
+	DB *txdb.DB
 	// Decode maps a recoded item back to its original code.
 	Decode []itemset.Item
-	// Freq holds the frequency (in the full database) of each recoded
-	// item; since the recoded universe only contains frequent items,
-	// Freq[i] >= the minsup used for preparation.
+	// Freq holds the weighted frequency (in the full database) of each
+	// recoded item; since the recoded universe only contains frequent
+	// items, Freq[i] >= the minsup used for preparation.
 	Freq []int
-	// OrigTransactions is the number of transactions in the original
-	// database (empty transactions are dropped from DB but still counted
-	// here, matching the paper's support semantics).
+	// OrigTransactions is the weighted number of transactions in the
+	// original database (empty transactions are dropped from DB but still
+	// counted here, matching the paper's support semantics). For an
+	// unweighted source this is simply the row count.
 	OrigTransactions int
 }
 
 // Prepare performs the standard preprocessing pipeline shared by all
 // miners in this repository:
 //
-//  1. count item frequencies and drop items with frequency < minSupport
-//     (no closed frequent item set can contain them — if an item occurs
-//     in every transaction of a cover of size ≥ minsup it is itself
-//     frequent);
-//  2. recode the surviving items according to cfg.Items;
+//  1. count weighted item frequencies and drop items with frequency <
+//     minSupport (no closed frequent item set can contain them — if an
+//     item occurs in every transaction of a cover of weight ≥ minsup it
+//     is itself frequent);
+//  2. recode the surviving items according to cfg.Items, encoding every
+//     row directly into the flat columnar arrays;
 //  3. drop transactions that became empty;
-//  4. reorder transactions according to cfg.Trans, ties broken by a
+//  4. optionally merge duplicate rows into weights (cfg.Merge);
+//  5. reorder transactions according to cfg.Trans, ties broken by a
 //     lexicographic comparison on descending item codes (§3.4).
 //
 // minSupport values below 1 are treated as 1.
-func Prepare(db *dataset.Database, minSupport int, cfg Config) *Prepared {
+func Prepare(src txdb.Source, minSupport int, cfg Config) *Prepared {
 	if minSupport < 1 {
 		minSupport = 1
 	}
-	freq := db.ItemFrequencies()
+	items := src.NumItems()
+	freq := sourceFreqs(src)
 
 	// Collect surviving items and decide their new codes.
 	type itemFreq struct {
 		item itemset.Item
 		freq int
 	}
-	alive := make([]itemFreq, 0, db.Items)
+	alive := make([]itemFreq, 0, items)
 	for i, f := range freq {
 		if f >= minSupport {
 			alive = append(alive, itemFreq{itemset.Item(i), f})
@@ -151,7 +187,7 @@ func Prepare(db *dataset.Database, minSupport int, cfg Config) *Prepared {
 
 	decode := make([]itemset.Item, len(alive))
 	newFreq := make([]int, len(alive))
-	encode := make([]itemset.Item, db.Items)
+	encode := make([]itemset.Item, items)
 	for i := range encode {
 		encode[i] = -1
 	}
@@ -161,46 +197,106 @@ func Prepare(db *dataset.Database, minSupport int, cfg Config) *Prepared {
 		encode[af.item] = itemset.Item(code)
 	}
 
-	trans := make([]itemset.Set, 0, len(db.Trans))
-	for _, t := range db.Trans {
-		nt := make(itemset.Set, 0, len(t))
-		for _, i := range t {
-			if c := encode[i]; c >= 0 {
-				nt = append(nt, c)
-			}
-		}
-		if len(nt) == 0 {
-			continue
-		}
-		sort.Slice(nt, func(a, b int) bool { return nt[a] < nt[b] })
-		trans = append(trans, nt)
+	db := encodeRows(src, encode, len(alive), cfg.Items != OrderKeep)
+	if cfg.Merge {
+		db = txdb.MergeDuplicates(db)
 	}
-
-	switch cfg.Trans {
-	case OrderSizeAsc:
-		sort.SliceStable(trans, func(a, b int) bool {
-			if len(trans[a]) != len(trans[b]) {
-				return len(trans[a]) < len(trans[b])
-			}
-			return lexDescLess(trans[a], trans[b])
-		})
-	case OrderSizeDesc:
-		sort.SliceStable(trans, func(a, b int) bool {
-			if len(trans[a]) != len(trans[b]) {
-				return len(trans[a]) > len(trans[b])
-			}
-			return lexDescLess(trans[a], trans[b])
-		})
-	case OrderOriginal:
-		// keep input order
-	}
+	db = orderRows(db, cfg.Trans)
 
 	return &Prepared{
-		DB:               &dataset.Database{Items: len(alive), Trans: trans},
+		DB:               db,
 		Decode:           decode,
 		Freq:             newFreq,
-		OrigTransactions: len(db.Trans),
+		OrigTransactions: txdb.TotalWeightOf(src),
 	}
+}
+
+// sourceFreqs returns the weighted item frequencies of src, reusing the
+// cached index when src is already a columnar DB.
+func sourceFreqs(src txdb.Source) []int {
+	if db, ok := src.(*txdb.DB); ok {
+		return db.ItemFreqs()
+	}
+	freq := make([]int, src.NumItems())
+	n := src.NumTx()
+	for k := 0; k < n; k++ {
+		w := src.Weight(k)
+		for _, i := range src.Tx(k) {
+			freq[i] += w
+		}
+	}
+	return freq
+}
+
+// encodeRows is the single materialization of the pipeline: every source
+// row is recoded through encode straight into one flat builder, dropping
+// eliminated items and emptied rows; when the recoding is not monotone the
+// row is re-sorted in place inside the flat array. No per-row allocation
+// happens — AddRow canonicalizes within the builder's backing array.
+func encodeRows(src txdb.Source, encode []itemset.Item, universe int, resort bool) *txdb.DB {
+	n := src.NumTx()
+	total := 0
+	for k := 0; k < n; k++ {
+		total += len(src.Tx(k))
+	}
+	b := txdb.NewBuilder(n, total)
+	b.SetNumItems(universe)
+	row := make([]itemset.Item, 0, 64)
+	for k := 0; k < n; k++ {
+		row = row[:0]
+		for _, i := range src.Tx(k) {
+			if c := encode[i]; c >= 0 {
+				row = append(row, c)
+			}
+		}
+		if len(row) == 0 {
+			continue
+		}
+		if resort {
+			slices.Sort(row)
+		}
+		b.AddWeighted(row, src.Weight(k))
+	}
+	return b.Build()
+}
+
+// orderRows applies the transaction ordering as an index-permutation
+// gather over the flat columns: sort a row permutation, then copy each row
+// once into fresh columns in the new order. Two passes over the data, a
+// constant number of allocations.
+func orderRows(db *txdb.DB, order TransOrder) *txdb.DB {
+	if order == OrderOriginal || db.NumTx() < 2 {
+		return db
+	}
+	n := db.NumTx()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	switch order {
+	case OrderSizeAsc:
+		sort.SliceStable(perm, func(a, b int) bool {
+			la, lb := db.Len(perm[a]), db.Len(perm[b])
+			if la != lb {
+				return la < lb
+			}
+			return lexDescLess(db.Tx(perm[a]), db.Tx(perm[b]))
+		})
+	case OrderSizeDesc:
+		sort.SliceStable(perm, func(a, b int) bool {
+			la, lb := db.Len(perm[a]), db.Len(perm[b])
+			if la != lb {
+				return la > lb
+			}
+			return lexDescLess(db.Tx(perm[a]), db.Tx(perm[b]))
+		})
+	}
+	b := txdb.NewBuilder(n, db.NumIds())
+	b.SetNumItems(db.NumItems())
+	for _, k := range perm {
+		b.AddWeighted(db.Tx(k), db.Weight(k))
+	}
+	return b.Build()
 }
 
 // lexDescLess compares two transactions lexicographically on a descending

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/txdb"
 )
 
 // paperDB is the example transaction database from Table 1 of the paper,
@@ -38,12 +39,21 @@ func randDB(rng *rand.Rand, items, n int, density float64) *dataset.Database {
 	return dataset.New(trans, items)
 }
 
+// rows materializes a prepared database's transactions for comparisons.
+func rows(db *txdb.DB) []itemset.Set {
+	out := make([]itemset.Set, db.NumTx())
+	for k := range out {
+		out[k] = db.Tx(k)
+	}
+	return out
+}
+
 func TestPrepareDropsInfrequent(t *testing.T) {
 	db := paperDB()
-	p := Prepare(db, 4, Config{OrderAscFreq, OrderSizeAsc})
+	p := Prepare(db, 4, Config{Items: OrderAscFreq, Trans: OrderSizeAsc})
 	// e has frequency 3 < 4 and must vanish.
-	if p.DB.Items != 4 {
-		t.Fatalf("prepared universe = %d, want 4", p.DB.Items)
+	if p.DB.NumItems() != 4 {
+		t.Fatalf("prepared universe = %d, want 4", p.DB.NumItems())
 	}
 	for _, orig := range p.Decode {
 		if orig == 4 {
@@ -65,10 +75,10 @@ func TestPrepareDropsInfrequent(t *testing.T) {
 
 func TestPrepareDropsEmptyTransactions(t *testing.T) {
 	db := dataset.FromInts([]int{0}, []int{1}, []int{0, 1}, []int{2})
-	p := Prepare(db, 2, Config{OrderAscFreq, OrderSizeAsc})
+	p := Prepare(db, 2, Config{Items: OrderAscFreq, Trans: OrderSizeAsc})
 	// Item 2 is infrequent; its transaction becomes empty and is dropped.
-	if len(p.DB.Trans) != 3 {
-		t.Fatalf("transactions = %d, want 3", len(p.DB.Trans))
+	if p.DB.NumTx() != 3 {
+		t.Fatalf("transactions = %d, want 3", p.DB.NumTx())
 	}
 	if p.OrigTransactions != 4 {
 		t.Fatalf("OrigTransactions = %d, want 4", p.OrigTransactions)
@@ -77,18 +87,18 @@ func TestPrepareDropsEmptyTransactions(t *testing.T) {
 
 func TestPrepareTransactionOrder(t *testing.T) {
 	db := dataset.FromInts([]int{0, 1, 2}, []int{0}, []int{1, 2}, []int{0, 2})
-	p := Prepare(db, 1, Config{OrderKeep, OrderSizeAsc})
+	p := Prepare(db, 1, Config{Items: OrderKeep, Trans: OrderSizeAsc})
 	lens := []int{}
-	for _, tr := range p.DB.Trans {
-		lens = append(lens, len(tr))
+	for k := 0; k < p.DB.NumTx(); k++ {
+		lens = append(lens, p.DB.Len(k))
 	}
 	if !reflect.DeepEqual(lens, []int{1, 2, 2, 3}) {
 		t.Fatalf("lengths = %v", lens)
 	}
-	p = Prepare(db, 1, Config{OrderKeep, OrderSizeDesc})
+	p = Prepare(db, 1, Config{Items: OrderKeep, Trans: OrderSizeDesc})
 	lens = lens[:0]
-	for _, tr := range p.DB.Trans {
-		lens = append(lens, len(tr))
+	for k := 0; k < p.DB.NumTx(); k++ {
+		lens = append(lens, p.DB.Len(k))
 	}
 	if !reflect.DeepEqual(lens, []int{3, 2, 2, 1}) {
 		t.Fatalf("desc lengths = %v", lens)
@@ -98,24 +108,24 @@ func TestPrepareTransactionOrder(t *testing.T) {
 func TestPrepareItemOrderAsc(t *testing.T) {
 	// freq: 0 -> 3, 1 -> 1, 2 -> 2
 	db := dataset.FromInts([]int{0}, []int{0, 2}, []int{0, 1, 2})
-	p := Prepare(db, 1, Config{OrderAscFreq, OrderOriginal})
+	p := Prepare(db, 1, Config{Items: OrderAscFreq, Trans: OrderOriginal})
 	// rarest first: item 1 (freq 1) -> code 0, item 2 -> code 1, item 0 -> 2.
 	want := []itemset.Item{1, 2, 0}
 	if !reflect.DeepEqual(p.Decode, want) {
 		t.Fatalf("decode = %v, want %v", p.Decode, want)
 	}
 	// Transactions recoded and kept canonical.
-	if !p.DB.Trans[2].Equal(itemset.FromInts(0, 1, 2)) {
-		t.Fatalf("recoded transaction = %v", p.DB.Trans[2])
+	if !p.DB.Tx(2).Equal(itemset.FromInts(0, 1, 2)) {
+		t.Fatalf("recoded transaction = %v", p.DB.Tx(2))
 	}
-	if !p.DB.Trans[1].Equal(itemset.FromInts(1, 2)) {
-		t.Fatalf("recoded transaction = %v", p.DB.Trans[1])
+	if !p.DB.Tx(1).Equal(itemset.FromInts(1, 2)) {
+		t.Fatalf("recoded transaction = %v", p.DB.Tx(1))
 	}
 }
 
 func TestPrepareItemOrderDesc(t *testing.T) {
 	db := dataset.FromInts([]int{0}, []int{0, 2}, []int{0, 1, 2})
-	p := Prepare(db, 1, Config{OrderDescFreq, OrderOriginal})
+	p := Prepare(db, 1, Config{Items: OrderDescFreq, Trans: OrderOriginal})
 	want := []itemset.Item{0, 2, 1}
 	if !reflect.DeepEqual(p.Decode, want) {
 		t.Fatalf("decode = %v, want %v", p.Decode, want)
@@ -126,8 +136,8 @@ func TestDecodeSetRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 60; trial++ {
 		db := randDB(rng, 15, 12, 0.35)
-		p := Prepare(db, 2, Config{OrderAscFreq, OrderSizeAsc})
-		for _, tr := range p.DB.Trans {
+		p := Prepare(db, 2, Config{Items: OrderAscFreq, Trans: OrderSizeAsc})
+		for _, tr := range rows(p.DB) {
 			dec := p.DecodeSet(tr)
 			if !dec.IsCanonical() {
 				t.Fatalf("decoded set not canonical: %v", dec)
@@ -152,10 +162,71 @@ func TestDecodeSetRoundTrip(t *testing.T) {
 
 func TestPrepareMinSupportBelowOne(t *testing.T) {
 	db := paperDB()
-	a := Prepare(db, 0, Config{OrderKeep, OrderOriginal})
-	b := Prepare(db, 1, Config{OrderKeep, OrderOriginal})
-	if !reflect.DeepEqual(a.DB.Trans, b.DB.Trans) {
+	a := Prepare(db, 0, Config{Items: OrderKeep, Trans: OrderOriginal})
+	b := Prepare(db, 1, Config{Items: OrderKeep, Trans: OrderOriginal})
+	if !reflect.DeepEqual(rows(a.DB), rows(b.DB)) {
 		t.Fatal("minsup 0 should behave like 1")
+	}
+}
+
+func TestPrepareMergeDuplicates(t *testing.T) {
+	db := dataset.FromInts(
+		[]int{0, 1},
+		[]int{0, 1},
+		[]int{1, 2},
+		[]int{0, 1},
+	)
+	p := Prepare(db, 1, Config{Items: OrderKeep, Trans: OrderOriginal, Merge: true})
+	if p.DB.NumTx() != 2 {
+		t.Fatalf("merged transactions = %d, want 2", p.DB.NumTx())
+	}
+	if p.DB.TotalWeight() != 4 {
+		t.Fatalf("total weight = %d, want 4", p.DB.TotalWeight())
+	}
+	if got := p.DB.Weight(0); got != 3 {
+		t.Fatalf("weight of merged row = %d, want 3", got)
+	}
+	// Frequencies stay multiset-exact: item 1 occurs in all four rows.
+	if p.Freq[1] != 4 {
+		t.Fatalf("freq[1] = %d, want 4", p.Freq[1])
+	}
+	if p.OrigTransactions != 4 {
+		t.Fatalf("OrigTransactions = %d, want 4", p.OrigTransactions)
+	}
+}
+
+// TestPrepareAllocs pins the allocation budget of the builder pipeline: a
+// Prepare pass over an already-columnar database must materialize the
+// output exactly once (the flat columns plus the fixed per-run tables) and
+// never allocate per transaction. The budget is generous enough for the
+// deliberate one-off allocations (columns, permutations, frequency and
+// code tables) yet far below one allocation per row, so any reintroduced
+// per-transaction copy trips it immediately.
+func TestPrepareAllocs(t *testing.T) {
+	const rows, items = 2000, 40
+	rng := rand.New(rand.NewSource(11))
+	b := txdb.NewBuilder(rows, rows*8)
+	for k := 0; k < rows; k++ {
+		var row []int
+		for i := 0; i < items; i++ {
+			if rng.Float64() < 0.2 {
+				row = append(row, i)
+			}
+		}
+		if len(row) == 0 {
+			row = append(row, k%items)
+		}
+		b.AddInts(row...)
+	}
+	db := b.Build()
+	allocs := testing.AllocsPerRun(10, func() {
+		Prepare(db, 2, Config{Items: OrderAscFreq, Trans: OrderSizeAsc})
+	})
+	// See PrepAllocBudget for the rationale; the CI smoke step enforces
+	// this same bound on every push.
+	t.Logf("Prepare: %.0f allocs for %d rows (budget %d)", allocs, rows, PrepAllocBudget)
+	if allocs > PrepAllocBudget {
+		t.Fatalf("Prepare allocated %.0f times for %d rows, budget %d", allocs, rows, PrepAllocBudget)
 	}
 }
 
@@ -176,11 +247,15 @@ func TestLexDescLess(t *testing.T) {
 }
 
 func TestConfigString(t *testing.T) {
-	c := Config{OrderDescFreq, OrderOriginal}
+	c := Config{Items: OrderDescFreq, Trans: OrderOriginal}
 	if c.String() != "items:desc-freq trans:original" {
 		t.Fatalf("Config.String() = %q", c.String())
 	}
 	if ItemOrder(9).String() != "items:9" || TransOrder(9).String() != "trans:9" {
 		t.Fatal("fallback order strings")
+	}
+	m := Config{Items: OrderAscFreq, Trans: OrderSizeAsc, Merge: true}
+	if m.String() != "items:asc-freq trans:size-asc merge" {
+		t.Fatalf("merge Config.String() = %q", m.String())
 	}
 }

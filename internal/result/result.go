@@ -10,8 +10,8 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/txdb"
 )
 
 // Pattern is one mined item set together with its absolute support.
@@ -166,12 +166,12 @@ func (s *Set) Write(w io.Writer, names []string) error {
 	return nil
 }
 
-// Support computes the absolute support of items in db.
-func Support(db *dataset.Database, items itemset.Set) int {
+// Support computes the absolute (weighted) support of items in db.
+func Support(db txdb.Source, items itemset.Set) int {
 	n := 0
-	for _, t := range db.Trans {
-		if items.SubsetOf(t) {
-			n++
+	for k, rows := 0, db.NumTx(); k < rows; k++ {
+		if items.SubsetOf(db.Tx(k)) {
+			n += db.Weight(k)
 		}
 	}
 	return n
@@ -180,10 +180,11 @@ func Support(db *dataset.Database, items itemset.Set) int {
 // Closure returns the closure of items in db: the intersection of all
 // transactions containing items. If no transaction contains items, the
 // second return value is false.
-func Closure(db *dataset.Database, items itemset.Set) (itemset.Set, bool) {
+func Closure(db txdb.Source, items itemset.Set) (itemset.Set, bool) {
 	var clo itemset.Set
 	first := true
-	for _, t := range db.Trans {
+	for k, rows := 0, db.NumTx(); k < rows; k++ {
+		t := db.Tx(k)
 		if !items.SubsetOf(t) {
 			continue
 		}
@@ -204,7 +205,7 @@ func Closure(db *dataset.Database, items itemset.Set) (itemset.Set, bool) {
 // IsClosed reports whether items is closed in db (equal to the
 // intersection of all transactions containing it), per §2.4 of the paper.
 // The empty set and sets with empty cover are not considered closed.
-func IsClosed(db *dataset.Database, items itemset.Set) bool {
+func IsClosed(db txdb.Source, items itemset.Set) bool {
 	if len(items) == 0 {
 		return false
 	}
@@ -216,7 +217,7 @@ func IsClosed(db *dataset.Database, items itemset.Set) bool {
 // count, be at least minSupport, and the item set must be closed. It
 // returns a descriptive error for the first violation. Tests use it as a
 // semantic check that is independent of any particular oracle.
-func Verify(db *dataset.Database, s *Set, minSupport int) error {
+func Verify(db txdb.Source, s *Set, minSupport int) error {
 	for _, p := range s.Patterns {
 		supp := Support(db, p.Items)
 		if supp != p.Support {

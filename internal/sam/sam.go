@@ -16,13 +16,13 @@ package sam
 import (
 	"sort"
 
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/guard"
 	"repro/internal/itemset"
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/txdb"
 )
 
 // Target selects what Mine reports.
@@ -60,8 +60,8 @@ type wtrans struct {
 }
 
 // Mine runs SaM on db and reports patterns in original item codes.
-func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
-	if err := db.Validate(); err != nil {
+func Mine(db txdb.Source, opts Options, rep result.Reporter) error {
+	if err := txdb.Validate(db); err != nil {
 		return err
 	}
 	minsup := opts.MinSupport
@@ -79,15 +79,16 @@ func Mine(db *dataset.Database, opts Options, rep result.Reporter) error {
 // database.
 func minePrepared(pre *prep.Prepared, minsup int, target Target, ctl *mining.Control, rep result.Reporter) error {
 	pdb := pre.DB
-	if pdb.Items == 0 {
+	if pdb.NumItems() == 0 {
 		return nil
 	}
 
-	// Initial array: all transactions at weight 1, identical transactions
-	// collapsed, lexicographically ascending.
-	list := make([]wtrans, 0, len(pdb.Trans))
-	for _, t := range pdb.Trans {
-		list = append(list, wtrans{w: 1, items: t})
+	// Initial array: all rows at their multiset weight (SaM is natively
+	// weighted), identical transactions collapsed, lexicographically
+	// ascending.
+	list := make([]wtrans, 0, pdb.NumTx())
+	for k, n := 0, pdb.NumTx(); k < n; k++ {
+		list = append(list, wtrans{w: pdb.Weight(k), items: pdb.Tx(k)})
 	}
 	sort.Slice(list, func(a, b int) bool {
 		return itemset.CompareLex(list[a].items, list[b].items) < 0

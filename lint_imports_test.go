@@ -63,3 +63,52 @@ func TestNoDirectAlgorithmImports(t *testing.T) {
 		}
 	}
 }
+
+// TestTxdbLayering enforces the columnar store's position at the bottom
+// of the package DAG. Two rules keep the representation truly shared:
+//
+//  1. internal/txdb may import nothing of this module above
+//     internal/itemset — it must stay usable from every layer without
+//     dragging in miners, prep, or I/O.
+//  2. Algorithm packages consume transactions through txdb (or the
+//     Source interface) only; importing internal/dataset from non-test
+//     code would re-couple miners to the row-oriented I/O layer that the
+//     columnar refactor removed.
+func TestTxdbLayering(t *testing.T) {
+	checkImports := func(dir string, allowed func(ip string) bool, hint string) {
+		t.Helper()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(ip, "repro/") && !allowed(ip) {
+					t.Errorf("%s imports %s; %s", path, ip, hint)
+				}
+			}
+		}
+	}
+
+	checkImports("internal/txdb",
+		func(ip string) bool { return ip == "repro/internal/itemset" },
+		"txdb sits at the bottom of the DAG and may only use internal/itemset")
+
+	for pkg := range algorithmPackages {
+		dir := filepath.Join("internal", filepath.Base(pkg))
+		checkImports(dir,
+			func(ip string) bool { return ip != "repro/internal/dataset" },
+			"miners consume transactions via internal/txdb, not the dataset I/O layer")
+	}
+}
