@@ -112,6 +112,9 @@ func main() {
 		resume    = flag.Bool("resume", false, "with -snapshot-dir: continue from the state recovered there, skipping the transactions it already holds")
 		snapEvery = flag.Int("snapshot-every", 0, "with -snapshot-dir: snapshot and rotate the log every n transactions (0 = 1024, negative = only at exit)")
 
+		maxTxLen = flag.Int("max-tx-len", 0, "reject input transactions longer than this many items (0 = unlimited); fim exits 2 naming the offending line")
+		maxItems = flag.Int("max-items", 0, "reject item codes (or distinct named items) at or above this bound (0 = unlimited); fim exits 2 naming the offending line")
+
 		expr      = flag.Bool("expr", false, "input is a gene expression matrix (CSV/TSV of log ratios), discretized per the paper's §4")
 		threshold = flag.Float64("threshold", 0.2, "with -expr: |log ratio| above this is over-/under-expressed")
 		orient    = flag.String("orient", "conditions", "with -expr: conditions | genes — what becomes the transactions")
@@ -169,6 +172,9 @@ func main() {
 	if *retries < 0 {
 		failUsage(errors.New("-retries must not be negative"))
 	}
+	if *maxTxLen < 0 || *maxItems < 0 {
+		failUsage(errors.New("-max-tx-len and -max-items must not be negative"))
+	}
 
 	// Start the debug server before the input is read, so the endpoints
 	// are reachable while fim blocks on a slow reader (e.g. stdin). The
@@ -185,13 +191,14 @@ func main() {
 
 	var db fim.Source
 	var err error
+	lim := fim.ReadLimits{MaxTxLen: *maxTxLen, MaxItems: *maxItems}
 	switch {
 	case *expr:
 		db, err = loadExpression(flag.Arg(0), *threshold, *orient)
 	case flag.Arg(0) == "-":
-		db, err = fim.Read(os.Stdin)
+		db, err = fim.ReadLimited(os.Stdin, lim)
 	default:
-		db, err = fim.ReadFile(flag.Arg(0))
+		db, err = fim.ReadFileLimited(flag.Arg(0), lim)
 	}
 	if err != nil {
 		failUsage(err)

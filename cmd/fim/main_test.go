@@ -344,3 +344,48 @@ func TestInterruptFlushesPartial(t *testing.T) {
 		t.Errorf("resumed result differs from uninterrupted batch run:\nresumed:\n%s\nbatch:\n%s", resumed, batch)
 	}
 }
+
+// TestInputLimitsExitTwo covers the hardened reader flags on both input
+// paths: a violating transaction (stdin or file) exits 2 and the error
+// names the offending input line, while at-limit inputs mine normally.
+func TestInputLimitsExitTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	fimBin := buildTool(t, dir, "fim")
+
+	// Stdin path: line 3 (the comment counts) exceeds -max-tx-len.
+	stdin := strings.NewReader("0 1\n# note\n0 1 2 3 4\n")
+	_, stderr, code := run(t, fimBin, stdin, "-support", "1", "-max-tx-len", "4", "-")
+	if code != 2 {
+		t.Fatalf("stdin over -max-tx-len: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "line 3") {
+		t.Errorf("stderr %q does not name line 3", stderr)
+	}
+
+	// File path: a huge item code trips -max-items before any allocation
+	// is sized by it.
+	path := filepath.Join(dir, "big.dat")
+	if err := os.WriteFile(path, []byte("0 1\n7 2000000000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code = run(t, fimBin, nil, "-support", "1", "-max-items", "1000", path)
+	if code != 2 {
+		t.Fatalf("file over -max-items: exit %d, want 2 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "line 2") || !strings.Contains(stderr, path) {
+		t.Errorf("stderr %q does not name line 2 of %s", stderr, path)
+	}
+
+	// At the limit everything still mines.
+	stdout, stderr, code := run(t, fimBin, strings.NewReader("0 1 2\n0 1\n"),
+		"-support", "2", "-max-tx-len", "3", "-max-items", "3", "-")
+	if code != 0 {
+		t.Fatalf("at-limit input: exit %d (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stdout, "0 1") {
+		t.Errorf("at-limit output %q misses the expected pattern", stdout)
+	}
+}

@@ -1,0 +1,158 @@
+// Command fimd serves the mining engine over HTTP: POST /mine runs one
+// guarded mining request through the weighted admission gate, POST /tx
+// and GET /closed drive the durable incremental miner behind a circuit
+// breaker, and /healthz, /readyz, /statusz expose liveness, readiness
+// and the admission/breaker state. See DESIGN.md §5h for the serving
+// model and the status-code ↔ CLI-exit-code table.
+//
+// SIGTERM (or SIGINT) starts the graceful drain: the server stops
+// admitting new requests (/readyz flips to 503), waits for every
+// admitted request to finish — bounded by -drain-timeout — writes a
+// final store snapshot, and exits 0. A second signal aborts the drain.
+//
+// Exit codes: 0 clean (including a drained shutdown), 1 internal
+// failure, 2 bad flags, 4 corrupt store state.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+
+		maxWeight = flag.Int64("max-weight", serve.DefaultMaxWeight, "admission capacity in transaction-weight units")
+		maxQueue  = flag.Int("max-queue", serve.DefaultMaxQueue, "admission wait-queue bound; beyond it requests are shed with 429")
+		timeout   = flag.Duration("timeout", serve.DefaultTimeout, "default per-request mining deadline")
+		maxTime   = flag.Duration("max-timeout", serve.DefaultMaxTimeout, "upper bound on the deadline a request may ask for")
+		maxPat    = flag.Int("max-patterns", 0, "server-side cap on per-request patterns (0 = unlimited); exceeding it answers 206")
+		maxNodes  = flag.Int("max-nodes", 0, "server-side cap on the miner repository size (0 = unlimited)")
+		maxTxLen  = flag.Int("max-tx-len", 0, "reject transactions longer than this many items (0 = unlimited)")
+		maxItems  = flag.Int("max-items", 0, "reject item codes >= this bound (0 = unlimited)")
+		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size cap in bytes")
+
+		store     = flag.String("store", "", "durable store directory; enables POST /tx and GET /closed")
+		items     = flag.Int("items", 0, "item universe size when -store creates a fresh directory")
+		snapEvery = flag.Int("snapshot-every", 0, "with -store: snapshot and rotate the WAL every n transactions (0 = 1024)")
+		syncEvery = flag.Int("sync-every", 0, "with -store: fsync the WAL every n appends (0/1 = every append)")
+		brFails   = flag.Int("breaker-failures", serve.DefaultBreakerFailures, "consecutive store-write failures that open the circuit breaker")
+		brCool    = flag.Duration("breaker-cooldown", serve.DefaultBreakerCooldown, "circuit-breaker open → half-open probe delay")
+
+		drainTime = flag.Duration("drain-timeout", 15*time.Second, "bound on waiting for in-flight requests during shutdown")
+		trace     = flag.Bool("trace", false, "write one JSON observability event per request/drain span to stderr")
+		publish   = flag.Bool("expvar", true, "publish admission/breaker gauges to the expvar map and serve /debug/vars")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: fimd [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *store == "" && *items != 0 {
+		fmt.Fprintln(os.Stderr, "fimd: -items without -store has no effect")
+		os.Exit(2)
+	}
+
+	var sinks []obs.Sink
+	if *trace {
+		sinks = append(sinks, obs.NewJSONSink(os.Stderr))
+	}
+	if *publish {
+		sinks = append(sinks, obs.NewExpvarSink(""))
+	}
+
+	srv, err := serve.New(serve.Options{
+		MaxWeight:       *maxWeight,
+		MaxQueue:        *maxQueue,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTime,
+		MaxPatterns:     *maxPat,
+		MaxTreeNodes:    *maxNodes,
+		Limits:          dataset.Limits{MaxTxLen: *maxTxLen, MaxItems: *maxItems},
+		MaxBodyBytes:    *maxBody,
+		StoreDir:        *store,
+		StoreOptions:    persist.Options{Items: *items, SnapshotEvery: *snapEvery, SyncEvery: *syncEvery},
+		BreakerFailures: *brFails,
+		BreakerCooldown: *brCool,
+		DrainTimeout:    *drainTime,
+		Obs:             obs.Multi(sinks...),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fimd: %v\n", err)
+		if errors.Is(err, persist.ErrCorrupt) {
+			os.Exit(4)
+		}
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *publish {
+		mux.Handle("GET /debug/vars", expvar.Handler())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fimd: %v\n", err)
+		os.Exit(1)
+	}
+	// The announce line goes to stderr like fim's -debug-addr one, so
+	// scripts (and the smoke test) can scrape the bound port.
+	fmt.Fprintf(os.Stderr, "fimd: listening on http://%s/\n", ln.Addr())
+
+	hs := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "fimd: serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "fimd: %v: draining\n", sig)
+	}
+
+	// Graceful drain: application level first (stop admitting, wait for
+	// admitted work, final snapshot), then the connection level. A
+	// second signal aborts the wait.
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(context.Background()) }()
+	var drainErr error
+	select {
+	case drainErr = <-drainDone:
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "fimd: %v: drain aborted\n", sig)
+		os.Exit(1)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	hs.Shutdown(shutdownCtx)
+	cancel()
+	if err := srv.Close(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "fimd: drain: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "fimd: drained, exiting")
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/"+name)
+	cmd.Dir = "../.." // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// lockedBuffer collects a child's stderr safely while the process is
+// still writing it.
+type lockedBuffer struct {
+	mu  chan struct{}
+	buf bytes.Buffer
+}
+
+func newLockedBuffer() *lockedBuffer {
+	b := &lockedBuffer{mu: make(chan struct{}, 1)}
+	b.mu <- struct{}{}
+	return b
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	<-b.mu
+	defer func() { b.mu <- struct{}{} }()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	<-b.mu
+	defer func() { b.mu <- struct{}{} }()
+	return b.buf.String()
+}
+
+// startFimd launches the daemon and scrapes the announced address.
+func startFimd(t *testing.T, bin string, args ...string) (*exec.Cmd, *lockedBuffer, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr := newLockedBuffer()
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting fimd: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	re := regexp.MustCompile(`listening on http://([^/]+)/`)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(stderr.String()); m != nil {
+			return cmd, stderr, m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("fimd never announced its address:\n%s", stderr.String())
+	return nil, nil, ""
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestFimdServesAndExitsCleanly is the smoke path: healthz answers,
+// /mine mines, SIGTERM exits 0.
+func TestFimdServesAndExitsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "fimd")
+	cmd, stderr, addr := startFimd(t, bin)
+	base := "http://" + addr
+
+	if code, body := get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	resp, err := http.Post(base+"/mine", "application/json",
+		strings.NewReader(`{"transactions":[[0,1],[0,1],[0,2]],"minSupport":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"support":3`) {
+		t.Fatalf("/mine = %d %s", resp.StatusCode, body)
+	}
+	if code, body := get(t, base+"/debug/vars"); code != 200 || !strings.Contains(body, "serve_admitted_total") {
+		t.Fatalf("/debug/vars = %d, want the serve gauges (body %.200s)", code, body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("fimd exit: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Errorf("stderr does not report the drain:\n%s", stderr.String())
+	}
+}
+
+// TestFimdDrainMidRequest is the binary-level drain drill: SIGTERM
+// lands while a request is mid-flight; the in-flight request must
+// complete with its full 200 answer, /readyz must flip to 503
+// immediately, the process must exit 0, and the final drain snapshot
+// generation must appear in the store directory.
+func TestFimdDrainMidRequest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "fimd")
+	store := filepath.Join(dir, "state")
+	cmd, stderr, addr := startFimd(t, bin, "-store", store, "-items", "8", "-snapshot-every", "-1")
+	base := "http://" + addr
+
+	// Seed the durable store so the drain snapshot has something to hold.
+	resp, err := http.Post(base+"/tx", "application/json", strings.NewReader(`{"items":[0,1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/tx = %d", resp.StatusCode)
+	}
+
+	// Hold a /mine request mid-flight: send the headers and half the
+	// body, so the handler is inside the pipeline waiting on the rest.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reqBody := `{"transactions":[[0,1],[0,1],[0,2]],"minSupport":2}`
+	half := len(reqBody) / 2
+	fmt.Fprintf(conn, "POST /mine HTTP/1.1\r\nHost: fimd\r\nContent-Type: application/json\r\n"+
+		"Content-Length: %d\r\nConnection: close\r\n\r\n%s", len(reqBody), reqBody[:half])
+
+	// The handler has entered the pipeline once /statusz counts it.
+	waitFor(t, func() bool {
+		_, body := get(t, base+"/statusz")
+		var snap struct {
+			InFlight int `json:"inFlight"`
+		}
+		json.Unmarshal([]byte(body), &snap)
+		return snap.InFlight >= 1
+	})
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Readiness flips while the held request keeps the drain waiting.
+	waitFor(t, func() bool {
+		code, _ := get(t, base+"/readyz")
+		return code == 503
+	})
+
+	// Finish the held request: it must complete with the full answer.
+	if _, err := io.WriteString(conn, reqBody[half:]); err != nil {
+		t.Fatalf("finishing held request: %v", err)
+	}
+	answer, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("reading held answer: %v", err)
+	}
+	if !strings.Contains(string(answer), "200 OK") || !strings.Contains(string(answer), `"support":3`) {
+		t.Fatalf("held request answered:\n%s", answer)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("fimd exit after drain: %v\nstderr:\n%s", err, stderr.String())
+	}
+
+	// The drain wrote a final snapshot generation.
+	entries, err := os.ReadDir(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snap-") && strings.HasSuffix(e.Name(), ".ista") {
+			snaps = append(snaps, e.Name())
+		}
+	}
+	if len(snaps) == 0 {
+		t.Errorf("no drain snapshot in %s (entries: %v)", store, entries)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 10s")
+}

@@ -519,6 +519,35 @@ func WriteFile(path string, db Source) error {
 // Read parses a FIMI-format database from r.
 func Read(r io.Reader) (*Database, error) { return dataset.Read(r) }
 
+// ReadLimits bounds what ReadLimited accepts from untrusted input:
+// MaxTxLen caps the items on one line, MaxItems caps the item universe
+// (numeric codes and distinct names alike). The zero value imposes no
+// bounds. See DESIGN.md §5h for the admission model.
+type ReadLimits = dataset.Limits
+
+// ErrInputLimit is wrapped by every error ReadLimited reports for input
+// exceeding a configured ReadLimits bound; the concrete *InputLimitError
+// names the offending line. Match with errors.Is.
+var ErrInputLimit = dataset.ErrLimit
+
+// InputLimitError reports the input line that exceeded a ReadLimits
+// bound. Match with errors.As.
+type InputLimitError = dataset.LimitError
+
+// ReadLimited parses a FIMI-format database from r, rejecting input that
+// exceeds the given admission limits with an error wrapping
+// ErrInputLimit. Use it (instead of Read) for untrusted input: a single
+// hostile line can otherwise allocate an arbitrarily large transaction
+// or item universe.
+func ReadLimited(r io.Reader, lim ReadLimits) (*Database, error) {
+	return dataset.ReadLimited(r, lim)
+}
+
+// ReadFileLimited is ReadFile under the given admission limits.
+func ReadFileLimited(path string, lim ReadLimits) (*Database, error) {
+	return dataset.ReadFileLimited(path, lim)
+}
+
 // Write renders db in FIMI format to w. A *Database with a name table is
 // written with item names; every other source is written with numeric
 // codes, each row repeated per its weight so the multiset round-trips.

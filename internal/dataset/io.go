@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -14,6 +15,50 @@ import (
 	"repro/internal/txdb"
 )
 
+// Limits bounds what ReadLimited accepts from untrusted input. The zero
+// value imposes no bounds, preserving Read's historical behavior for
+// trusted files.
+type Limits struct {
+	// MaxTxLen caps the number of item tokens on one input line. A hostile
+	// (or merely broken) producer can put an arbitrarily long transaction
+	// on a single line; without a cap the decoded transaction alone can
+	// exhaust memory. Values <= 0 mean no cap.
+	MaxTxLen int
+	// MaxItems caps the item universe: numeric item codes must be below
+	// it, and named inputs may introduce at most this many distinct names.
+	// Item frequency tables, bitsets and the vertical view are all sized
+	// by the universe, so one line saying "2000000000" would otherwise
+	// make every consumer allocate gigabytes. Values <= 0 mean no cap.
+	MaxItems int
+}
+
+// Enabled reports whether the limits bound anything.
+func (l Limits) Enabled() bool { return l.MaxTxLen > 0 || l.MaxItems > 0 }
+
+// ErrLimit is wrapped by every error ReadLimited reports for input that
+// exceeds a configured admission limit. Match with errors.Is; the
+// concrete *LimitError carries the offending line. Limit breaches are
+// input errors (the bytes were read fine), distinct from I/O failures.
+var ErrLimit = errors.New("dataset: input limit exceeded")
+
+// LimitError reports one input line that exceeded a Limits bound. It
+// wraps ErrLimit.
+type LimitError struct {
+	// Line is the 1-based input line (comment lines counted) the breach
+	// was detected on.
+	Line int
+	// What names the limit ("transaction length" or "item universe").
+	What string
+	// Value is the offending size or item code; Max the configured bound.
+	Value, Max int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("dataset: line %d: %s %d exceeds limit %d", e.Line, e.What, e.Value, e.Max)
+}
+
+func (e *LimitError) Unwrap() error { return ErrLimit }
+
 // Read parses a database in the FIMI workshop format used by the
 // implementations the paper benchmarks against: one transaction per line,
 // whitespace-separated item tokens. Numeric tokens become item codes
@@ -21,19 +66,37 @@ import (
 // and mapped to dense codes in first-appearance order (the mapping is
 // recorded in Names). Empty lines are kept as empty transactions, matching
 // the paper's support semantics; lines starting with '#' are comments.
-func Read(r io.Reader) (*Database, error) {
+func Read(r io.Reader) (*Database, error) { return ReadLimited(r, Limits{}) }
+
+// ReadLimited is Read with admission limits for untrusted input: a line
+// holding more than lim.MaxTxLen items, a numeric item code >=
+// lim.MaxItems, or a named input introducing more than lim.MaxItems
+// distinct names fails fast with a *LimitError (wrapping ErrLimit)
+// carrying the offending line number. Limits are checked while scanning,
+// before the line is buffered, so an over-limit line never expands into
+// decoded state.
+func ReadLimited(r io.Reader, lim Limits) (*Database, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 
-	var rawLines [][]string
+	type rawLine struct {
+		no     int // 1-based input line number
+		fields []string
+	}
+	var rawLines []rawLine
 	numeric := true
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
-		rawLines = append(rawLines, fields)
+		if lim.MaxTxLen > 0 && len(fields) > lim.MaxTxLen {
+			return nil, &LimitError{Line: lineNo, What: "transaction length", Value: len(fields), Max: lim.MaxTxLen}
+		}
+		rawLines = append(rawLines, rawLine{no: lineNo, fields: fields})
 		for _, f := range fields {
 			if _, err := strconv.Atoi(f); err != nil {
 				numeric = false
@@ -46,18 +109,21 @@ func Read(r io.Reader) (*Database, error) {
 
 	db := &Database{}
 	if numeric {
-		for ln, fields := range rawLines {
-			t := make(itemset.Set, 0, len(fields))
-			for _, f := range fields {
+		for _, raw := range rawLines {
+			t := make(itemset.Set, 0, len(raw.fields))
+			for _, f := range raw.fields {
 				v, err := strconv.Atoi(f)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: line %d: %w", ln+1, err)
+					return nil, fmt.Errorf("dataset: line %d: %w", raw.no, err)
 				}
 				if v < 0 {
-					return nil, fmt.Errorf("dataset: line %d: negative item %d", ln+1, v)
+					return nil, fmt.Errorf("dataset: line %d: negative item %d", raw.no, v)
 				}
 				if v > math.MaxInt32 {
-					return nil, fmt.Errorf("dataset: line %d: item %d exceeds the item code range", ln+1, v)
+					return nil, fmt.Errorf("dataset: line %d: item %d exceeds the item code range", raw.no, v)
+				}
+				if lim.MaxItems > 0 && v >= lim.MaxItems {
+					return nil, &LimitError{Line: raw.no, What: "item universe", Value: v, Max: lim.MaxItems}
 				}
 				t = append(t, itemset.Item(v))
 			}
@@ -75,11 +141,14 @@ func Read(r io.Reader) (*Database, error) {
 	}
 
 	codes := map[string]itemset.Item{}
-	for _, fields := range rawLines {
-		t := make(itemset.Set, 0, len(fields))
-		for _, f := range fields {
+	for _, raw := range rawLines {
+		t := make(itemset.Set, 0, len(raw.fields))
+		for _, f := range raw.fields {
 			c, ok := codes[f]
 			if !ok {
+				if lim.MaxItems > 0 && len(codes) >= lim.MaxItems {
+					return nil, &LimitError{Line: raw.no, What: "item universe", Value: len(codes) + 1, Max: lim.MaxItems}
+				}
 				c = itemset.Item(len(codes))
 				codes[f] = c
 				db.Names = append(db.Names, f)
@@ -169,12 +238,18 @@ func WriteSource(w io.Writer, src txdb.Source) error {
 
 // ReadFile loads a FIMI-format database from a file.
 func ReadFile(path string) (*Database, error) {
+	return ReadFileLimited(path, Limits{})
+}
+
+// ReadFileLimited loads a FIMI-format database from a file under the
+// given admission limits (see ReadLimited).
+func ReadFileLimited(path string, lim Limits) (*Database, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	db, err := Read(f)
+	db, err := ReadLimited(f, lim)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

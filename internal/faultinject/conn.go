@@ -1,0 +1,84 @@
+package faultinject
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// SlowConn wraps a net.Conn and degrades it the way a slow or hung peer
+// does: every Read and Write first waits Delay (a trickling client), and
+// Hang blocks the next operation until the connection is closed (a
+// client that went away mid-request without closing its socket). The
+// server-level chaos suite uses it client-side against a live server to
+// prove that slow and hung clients neither wedge the accept loop nor
+// hold admission slots.
+//
+// Close unblocks any hung operation with net.ErrClosed, so tests can
+// always release the injected stall deterministically.
+type SlowConn struct {
+	net.Conn
+	// Delay is waited before every Read and Write.
+	Delay time.Duration
+
+	mu     sync.Mutex
+	hung   bool
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewSlowConn wraps c so every Read and Write stalls for delay first.
+func NewSlowConn(c net.Conn, delay time.Duration) *SlowConn {
+	return &SlowConn{Conn: c, Delay: delay, closed: make(chan struct{})}
+}
+
+// Hang makes every subsequent Read and Write block until Close — the
+// injected equivalent of a peer that stopped mid-request but kept the
+// socket open.
+func (c *SlowConn) Hang() {
+	c.mu.Lock()
+	c.hung = true
+	c.mu.Unlock()
+}
+
+// stall waits out the configured delay (or forever, when hung) and
+// reports whether the connection was closed while waiting.
+func (c *SlowConn) stall() error {
+	c.mu.Lock()
+	hung := c.hung
+	c.mu.Unlock()
+	if hung {
+		<-c.closed
+		return net.ErrClosed
+	}
+	if c.Delay <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(c.Delay):
+		return nil
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+func (c *SlowConn) Read(p []byte) (int, error) {
+	if err := c.stall(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *SlowConn) Write(p []byte) (int, error) {
+	if err := c.stall(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Close closes the underlying connection and releases any operation
+// blocked in a Hang or Delay stall.
+func (c *SlowConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

@@ -40,6 +40,13 @@ const (
 	// PhaseRecover is the recovery pass of persist.Open: loading the
 	// newest readable snapshot and replaying the WAL tail.
 	PhaseRecover = "recover"
+	// PhaseRequest is one served request of the mining service
+	// (internal/serve): admission wait, mining, and response encoding.
+	PhaseRequest = "request"
+	// PhaseDrain is the graceful-drain pass of the mining service:
+	// from the stop-accepting flip to the last in-flight request (and the
+	// final snapshot) completing.
+	PhaseDrain = "drain"
 )
 
 // Counts is the counter snapshot attached to every event, mirroring
@@ -139,6 +146,28 @@ func EmitNote(sink Sink, kind, detail string, c Counts) {
 		return
 	}
 	sink.Note(Note{Kind: kind, Detail: detail, Counts: c})
+}
+
+// GaugeSink is an optional Sink extension for point-in-time gauges:
+// current values that overwrite rather than accumulate (queue depth,
+// in-flight weight, breaker state). Sinks that do not implement it
+// simply never see gauges — EmitGauge probes with a type assertion, so
+// the Sink interface itself stays stable for span/progress/note-only
+// sinks.
+type GaugeSink interface {
+	Gauge(name string, value int64)
+}
+
+// EmitGauge publishes one gauge to sink if it supports gauges. A nil
+// sink — the no-observability fast path — costs nothing and allocates
+// nothing, preserving the "no sink, no counters" contract.
+func EmitGauge(sink Sink, name string, value int64) {
+	if sink == nil {
+		return
+	}
+	if gs, ok := sink.(GaugeSink); ok {
+		gs.Gauge(name, value)
+	}
 }
 
 // DefaultInterval is the progress sampling interval used when a run does

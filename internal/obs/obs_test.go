@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"expvar"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -234,5 +235,49 @@ func TestEmitSpanNilSink(t *testing.T) {
 	spans := rec.Spans()
 	if len(spans) != 1 || spans[0].Phase != PhaseSnapshot || spans[0].Nodes != 3 || spans[0].Duration <= 0 {
 		t.Fatalf("EmitSpan recorded %+v", spans)
+	}
+}
+
+// TestEmitGauge covers the gauge extension: the expvar publisher and the
+// Recorder receive gauges (latest value wins), a Multi fan-out forwards
+// them to the gauge-capable members, gauge-less sinks are skipped
+// silently, and the nil-sink fast path allocates nothing — the serving
+// layer's gauges must preserve the PR-5 "no sink, no counters" contract.
+func TestEmitGauge(t *testing.T) {
+	// Nil sink: no panic, no allocation.
+	if allocs := testing.AllocsPerRun(100, func() {
+		EmitGauge(nil, "serve_queue_depth", 7)
+	}); allocs != 0 {
+		t.Errorf("EmitGauge(nil) allocates %.1f per call, want 0", allocs)
+	}
+
+	// Recorder: latest value wins.
+	var rec Recorder
+	EmitGauge(&rec, "serve_queue_depth", 3)
+	EmitGauge(&rec, "serve_queue_depth", 5)
+	EmitGauge(&rec, "serve_breaker_state", 1)
+	g := rec.Gauges()
+	if g["serve_queue_depth"] != 5 || g["serve_breaker_state"] != 1 {
+		t.Errorf("recorder gauges = %v", g)
+	}
+
+	// A sink without gauge support is skipped without error.
+	EmitGauge(NewTextSink(io.Discard), "serve_shed_total", 1)
+
+	// Multi forwards to every gauge-capable member.
+	var rec2 Recorder
+	m := Multi(NewTextSink(io.Discard), &rec, &rec2)
+	EmitGauge(m, "serve_shed_total", 9)
+	if rec.Gauges()["serve_shed_total"] != 9 || rec2.Gauges()["serve_shed_total"] != 9 {
+		t.Errorf("multi did not forward gauges: %v %v", rec.Gauges(), rec2.Gauges())
+	}
+
+	// The expvar publisher overwrites rather than accumulates.
+	s := NewExpvarSink("obs_gauge_test")
+	EmitGauge(s, "serve_queue_depth", 4)
+	EmitGauge(s, "serve_queue_depth", 2)
+	mp := expvar.Get("obs_gauge_test").(*expvar.Map)
+	if got := mp.Get("serve_queue_depth"); got == nil || got.String() != "2" {
+		t.Errorf("expvar gauge = %v, want 2", got)
 	}
 }

@@ -48,6 +48,17 @@ func (m multi) Note(n Note) {
 	}
 }
 
+// Gauge forwards to every member sink that supports gauges, so a gauge
+// emitted into a fan-out reaches the expvar publisher (and the test
+// Recorder) without the emitter knowing the sink composition.
+func (m multi) Gauge(name string, value int64) {
+	for _, sink := range m {
+		if gs, ok := sink.(GaugeSink); ok {
+			gs.Gauge(name, value)
+		}
+	}
+}
+
 // ProgressSink adapts a progress callback to a Sink that drops spans.
 func ProgressSink(f func(Progress)) Sink {
 	if f == nil {
@@ -230,6 +241,14 @@ func (s *expvarSink) Note(n Note) {
 	s.m.Add("note_"+n.Kind+"_count", 1)
 }
 
+// Gauge publishes a point-in-time value under its own name, overwriting
+// the previous one (queue depth, breaker state, in-flight weight).
+func (s *expvarSink) Gauge(name string, value int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setInt(name, value)
+}
+
 // Recorder is an in-memory sink for tests: it stores every event in
 // arrival order under a mutex.
 type Recorder struct {
@@ -237,6 +256,7 @@ type Recorder struct {
 	spans    []Span
 	progress []Progress
 	notes    []Note
+	gauges   map[string]int64
 }
 
 func (r *Recorder) Span(s Span) {
@@ -278,4 +298,25 @@ func (r *Recorder) Notes() []Note {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]Note(nil), r.notes...)
+}
+
+// Gauge records the latest value published under name.
+func (r *Recorder) Gauge(name string, value int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]int64{}
+	}
+	r.gauges[name] = value
+}
+
+// Gauges returns a copy of the latest gauge values by name.
+func (r *Recorder) Gauges() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
 }

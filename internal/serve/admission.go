@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrShed reports that a request was shed at admission: the concurrency
+// capacity is saturated and the wait queue is full. Shedding bounds both
+// latency and memory — an overloaded server answers 429 immediately
+// instead of queueing unboundedly. Clients should back off and retry.
+var ErrShed = errors.New("serve: overloaded, request shed")
+
+// gate is the weighted-concurrency admission controller: at most
+// capacity units of work weight run at once, at most maxQueue requests
+// wait in a FIFO queue behind them, and everything beyond that is shed.
+//
+// Weight is the transaction weight of the request's workload (via
+// txdb.Stats), so one huge mining request and many small ones compete
+// for the same budget in proportional terms rather than by request
+// count. A weight above capacity is clamped to capacity, so oversized
+// requests still run — alone.
+type gate struct {
+	capacity int64
+	maxQueue int
+
+	mu     sync.Mutex
+	active int64     // admitted weight currently in flight
+	queue  []*waiter // FIFO wait queue
+
+	// Cumulative counters and point-in-time gauges, atomics so status
+	// endpoints and gauge publishers read them without the lock.
+	admitted atomic.Int64 // requests admitted (immediately or after queueing)
+	queued   atomic.Int64 // requests that had to wait before admission
+	shed     atomic.Int64 // requests rejected with ErrShed
+	depth    atomic.Int64 // current queue depth
+	inflight atomic.Int64 // admitted requests not yet released
+	activeW  atomic.Int64 // mirror of active for lock-free reads
+}
+
+type waiter struct {
+	weight int64
+	ready  chan struct{} // closed when the gate grants the slot
+}
+
+// newGate builds a gate with the given weight capacity and queue bound.
+// Non-positive values select the defaults.
+func newGate(capacity int64, maxQueue int) *gate {
+	if capacity <= 0 {
+		capacity = DefaultMaxWeight
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{capacity: capacity, maxQueue: maxQueue}
+}
+
+// acquire admits a request of the given weight, waiting in the bounded
+// FIFO queue if the capacity is saturated. It returns a release function
+// on admission, ErrShed when the queue is full, or ctx.Err() when the
+// caller gave up (disconnected, deadline) while queued.
+func (g *gate) acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > g.capacity {
+		weight = g.capacity
+	}
+
+	g.mu.Lock()
+	// FIFO: never overtake an already queued request, even if this one
+	// would fit — otherwise small requests starve a large queued one.
+	if len(g.queue) == 0 && g.active+weight <= g.capacity {
+		g.admit(weight)
+		g.mu.Unlock()
+		return func() { g.release(weight) }, nil
+	}
+	if len(g.queue) >= g.maxQueue {
+		g.mu.Unlock()
+		g.shed.Add(1)
+		return nil, ErrShed
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.depth.Store(int64(len(g.queue)))
+	g.mu.Unlock()
+	g.queued.Add(1)
+
+	select {
+	case <-w.ready:
+		return func() { g.release(weight) }, nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		for i, q := range g.queue {
+			if q == w {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				g.depth.Store(int64(len(g.queue)))
+				g.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		g.mu.Unlock()
+		// Lost the race: the grant happened while ctx fired. The slot is
+		// ours, so hand it back and report the cancellation.
+		<-w.ready
+		g.release(weight)
+		return nil, ctx.Err()
+	}
+}
+
+// admit books weight as active. Callers hold g.mu.
+func (g *gate) admit(weight int64) {
+	g.active += weight
+	g.activeW.Store(g.active)
+	g.admitted.Add(1)
+	g.inflight.Add(1)
+}
+
+// release returns weight to the capacity and grants queued waiters in
+// FIFO order while they fit.
+func (g *gate) release(weight int64) {
+	g.mu.Lock()
+	g.active -= weight
+	g.activeW.Store(g.active)
+	g.inflight.Add(-1)
+	for len(g.queue) > 0 && g.active+g.queue[0].weight <= g.capacity {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		g.admit(w.weight)
+		close(w.ready)
+	}
+	g.depth.Store(int64(len(g.queue)))
+	g.mu.Unlock()
+}
+
+// gateStats is a point-in-time snapshot for /statusz and the gauges.
+type gateStats struct {
+	Capacity     int64 `json:"capacity"`
+	ActiveWeight int64 `json:"activeWeight"`
+	Inflight     int64 `json:"inflight"`
+	QueueDepth   int64 `json:"queueDepth"`
+	MaxQueue     int   `json:"maxQueue"`
+	Admitted     int64 `json:"admitted"`
+	Queued       int64 `json:"queued"`
+	Shed         int64 `json:"shed"`
+}
+
+func (g *gate) stats() gateStats {
+	return gateStats{
+		Capacity:     g.capacity,
+		ActiveWeight: g.activeW.Load(),
+		Inflight:     g.inflight.Load(),
+		QueueDepth:   g.depth.Load(),
+		MaxQueue:     g.maxQueue,
+		Admitted:     g.admitted.Load(),
+		Queued:       g.queued.Load(),
+		Shed:         g.shed.Load(),
+	}
+}

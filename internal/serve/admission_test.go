@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestGateAdmitRelease covers the basic capacity accounting: admissions
+// up to capacity succeed, saturation with no queue sheds, and release
+// restores the budget.
+func TestGateAdmitRelease(t *testing.T) {
+	g := newGate(10, 0)
+	rel4, err := g.acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("acquire(4): %v", err)
+	}
+	rel6, err := g.acquire(context.Background(), 6)
+	if err != nil {
+		t.Fatalf("acquire(6): %v", err)
+	}
+	if _, err := g.acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire at saturation = %v, want ErrShed", err)
+	}
+	rel4()
+	rel, err := g.acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel()
+	rel6()
+
+	st := g.stats()
+	if st.Admitted != 3 || st.Shed != 1 || st.ActiveWeight != 0 || st.Inflight != 0 {
+		t.Errorf("stats = %+v, want 3 admitted, 1 shed, idle", st)
+	}
+}
+
+// TestGateWeightClamp admits an oversized request alone: its weight is
+// clamped to the capacity instead of being unschedulable forever.
+func TestGateWeightClamp(t *testing.T) {
+	g := newGate(5, 0)
+	rel, err := g.acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("oversized acquire: %v", err)
+	}
+	if st := g.stats(); st.ActiveWeight != 5 {
+		t.Errorf("active weight = %d, want clamped 5", st.ActiveWeight)
+	}
+	if _, err := g.acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Errorf("acquire alongside clamped giant = %v, want ErrShed", err)
+	}
+	rel()
+	if st := g.stats(); st.ActiveWeight != 0 {
+		t.Errorf("active weight after release = %d, want 0", st.ActiveWeight)
+	}
+}
+
+// TestGateFIFO proves the queue is strictly FIFO: a small request that
+// would fit in the spare capacity must not overtake a larger queued
+// one — otherwise a stream of small requests starves the large one
+// forever.
+func TestGateFIFO(t *testing.T) {
+	g := newGate(10, 4)
+	relA, err := g.acquire(context.Background(), 8)
+	if err != nil {
+		t.Fatalf("acquire A: %v", err)
+	}
+
+	done := make(chan string, 2)
+	go func() {
+		rel, err := g.acquire(context.Background(), 6) // does not fit: queued
+		if err != nil {
+			t.Errorf("B: %v", err)
+			return
+		}
+		done <- "B"
+		rel()
+	}()
+	waitFor(t, func() bool { return g.stats().QueueDepth == 1 })
+
+	go func() {
+		rel, err := g.acquire(context.Background(), 1) // fits in the spare 2, must still queue behind B
+		if err != nil {
+			t.Errorf("C: %v", err)
+			return
+		}
+		done <- "C"
+		rel()
+	}()
+	waitFor(t, func() bool { return g.stats().QueueDepth == 2 })
+
+	// C fits the spare capacity but must not be admitted while B queues.
+	time.Sleep(5 * time.Millisecond)
+	if st := g.stats(); st.Admitted != 1 || st.QueueDepth != 2 {
+		t.Fatalf("stats = %+v, want C held behind B (1 admitted, 2 queued)", st)
+	}
+
+	relA() // frees 8: B (6) and then C (1) both fit now
+	<-done
+	<-done
+	if st := g.stats(); st.Admitted != 3 || st.Queued != 2 || st.QueueDepth != 0 {
+		t.Errorf("stats = %+v, want 3 admitted, 2 queued, empty queue", st)
+	}
+}
+
+// TestGateQueueBoundSheds fills the queue and proves the next request
+// is shed immediately rather than queued.
+func TestGateQueueBoundSheds(t *testing.T) {
+	g := newGate(1, 1)
+	rel, err := g.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		rel2, err := g.acquire(context.Background(), 1)
+		if err == nil {
+			rel2()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.stats().QueueDepth == 1 })
+
+	if _, err := g.acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire with full queue = %v, want ErrShed", err)
+	}
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if st := g.stats(); st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestGateCancelWhileQueued abandons a queued request through its
+// context and proves the slot is not leaked.
+func TestGateCancelWhileQueued(t *testing.T) {
+	g := newGate(1, 2)
+	rel, err := g.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		rel2, err := g.acquire(ctx, 1)
+		if err == nil {
+			rel2()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.stats().QueueDepth == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
+	}
+	rel()
+	// The abandoned waiter must not hold capacity: a fresh acquire works.
+	rel3, err := g.acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("acquire after cancel: %v", err)
+	}
+	rel3()
+	if st := g.stats(); st.QueueDepth != 0 || st.ActiveWeight != 0 {
+		t.Errorf("stats = %+v, want empty gate", st)
+	}
+}
+
+// waitFor polls cond until it holds or the test deadline approaches.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states, exposed as the serve_breaker_state gauge and in
+// /statusz. The numeric order matters for dashboards: 0 is healthy.
+const (
+	breakerClosed   int64 = 0 // writes flow
+	breakerOpen     int64 = 1 // writes rejected until the cooldown passes
+	breakerHalfOpen int64 = 2 // one probe in flight deciding the next state
+)
+
+func breakerStateName(s int64) string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", s)
+}
+
+// ErrStoreUnavailable reports that the durable store's circuit breaker
+// is open: recent writes failed (I/O fault, latched store) and the
+// server is protecting itself by failing writes fast while read-only
+// mining continues. Wrapped errors carry a suggested retry-after.
+var ErrStoreUnavailable = errors.New("serve: durable store unavailable (circuit open)")
+
+// breaker is the circuit breaker guarding the durable store's write
+// path. Consecutive write failures (the store latches on fsync/corrupt
+// faults, so every operation after the first fault fails too) open the
+// circuit: writes are rejected immediately with a retry-after instead of
+// hammering a latched store and timing out one request at a time. After
+// the cooldown one probe is let through in half-open state; the probe
+// reopens the store from disk, and its outcome closes or re-opens the
+// circuit.
+//
+// The breaker itself is transport-free bookkeeping; the store manager
+// decides what a "probe" does (reopen + retry the write).
+type breaker struct {
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // open → half-open delay
+
+	mu       sync.Mutex
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+
+	state atomic.Int64 // breakerClosed / breakerOpen / breakerHalfOpen
+	trips atomic.Int64 // cumulative open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerFailures
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a write may proceed. In the open state it
+// returns false with the remaining cooldown; once the cooldown has
+// passed it transitions to half-open and admits exactly one caller — the
+// probe — whose success() or failure() decides the next state. While a
+// probe is in flight every other write is rejected.
+func (b *breaker) allow() (retryAfter time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case breakerClosed:
+		return 0, true
+	case breakerHalfOpen:
+		return b.cooldown, false
+	default: // open
+		remaining := b.cooldown - time.Since(b.openedAt)
+		if remaining > 0 {
+			return remaining, false
+		}
+		b.state.Store(breakerHalfOpen)
+		return 0, true
+	}
+}
+
+// success records a completed write: the circuit closes (from any state)
+// and the failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.state.Store(breakerClosed)
+}
+
+// failure records a failed write. A half-open probe failure re-opens
+// immediately; in closed state the circuit opens once the consecutive
+// failure count reaches the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state.Load() == breakerHalfOpen {
+		b.open()
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.open()
+	}
+}
+
+// open transitions to the open state. Callers hold b.mu.
+func (b *breaker) open() {
+	b.fails = 0
+	b.openedAt = time.Now()
+	if b.state.Swap(breakerOpen) != breakerOpen {
+		b.trips.Add(1)
+	}
+}
+
+// breakerStats is the /statusz and gauge snapshot.
+type breakerStats struct {
+	State string `json:"state"`
+	Code  int64  `json:"code"`
+	Trips int64  `json:"trips"`
+}
+
+func (b *breaker) stats() breakerStats {
+	s := b.state.Load()
+	return breakerStats{State: breakerStateName(s), Code: s, Trips: b.trips.Load()}
+}

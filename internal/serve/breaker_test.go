@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerThreshold keeps the circuit closed below the consecutive
+// failure threshold and opens it exactly at the threshold.
+func TestBreakerThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if _, ok := b.allow(); !ok {
+			t.Fatalf("circuit open after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.failure()
+	retryAfter, ok := b.allow()
+	if ok {
+		t.Fatal("circuit still closed after 3 consecutive failures")
+	}
+	if retryAfter <= 0 {
+		t.Errorf("retryAfter = %v, want positive", retryAfter)
+	}
+	if st := b.stats(); st.State != "open" || st.Trips != 1 {
+		t.Errorf("stats = %+v, want open with 1 trip", st)
+	}
+}
+
+// TestBreakerSuccessResetsStreak proves non-consecutive failures never
+// open the circuit.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(2, time.Hour)
+	for i := 0; i < 5; i++ {
+		b.failure()
+		b.success()
+	}
+	if _, ok := b.allow(); !ok {
+		t.Fatal("circuit opened on non-consecutive failures")
+	}
+}
+
+// TestBreakerHalfOpenProbe walks the full state machine: open →
+// (cooldown) → half-open with exactly one admitted probe → re-open on
+// probe failure → half-open again → closed on probe success.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, 5*time.Millisecond)
+	b.failure()
+	if _, ok := b.allow(); ok {
+		t.Fatal("circuit closed right after opening")
+	}
+
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := b.allow(); !ok {
+		t.Fatal("probe denied after cooldown")
+	}
+	if st := b.stats(); st.State != "half-open" {
+		t.Fatalf("state = %s, want half-open during probe", st.State)
+	}
+	// Only one probe at a time.
+	if _, ok := b.allow(); ok {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+
+	b.failure() // probe failed: straight back to open, no threshold counting
+	if st := b.stats(); st.State != "open" || st.Trips != 2 {
+		t.Fatalf("stats after failed probe = %+v, want open with 2 trips", st)
+	}
+
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := b.allow(); !ok {
+		t.Fatal("second probe denied after cooldown")
+	}
+	b.success()
+	if st := b.stats(); st.State != "closed" {
+		t.Fatalf("state after successful probe = %s, want closed", st.State)
+	}
+	if _, ok := b.allow(); !ok {
+		t.Fatal("closed circuit denies writes")
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/itemset"
+	"repro/internal/persist"
+	"repro/internal/result"
+)
+
+// storeManager owns the server's durable store behind the circuit
+// breaker. persist.Durable is crash-only: the first I/O fault latches the
+// handle and every later write fails until the store is reopened from
+// disk. The manager translates that into service behavior — consecutive
+// write failures open the breaker, writes then fail fast with a
+// retry-after, and the half-open probe reopens the store (restoring
+// exactly the durable prefix) before retrying the write. Reads degrade
+// gracefully: ClosedSet serves the in-memory miner state even while the
+// handle is latched or the breaker is open.
+type storeManager struct {
+	dir string
+	opt persist.Options
+	br  *breaker
+
+	mu sync.Mutex // serializes writes and handle swaps
+	d  *persist.Durable
+
+	reopens int // successful probe reopens
+}
+
+func openStore(dir string, opt persist.Options, br *breaker) (*storeManager, error) {
+	d, err := persist.Open(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &storeManager{dir: dir, opt: opt, br: br, d: d}, nil
+}
+
+// unavailable wraps ErrStoreUnavailable with the suggested retry delay.
+type unavailableError struct {
+	retryAfter time.Duration
+}
+
+func (e *unavailableError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrStoreUnavailable, e.retryAfter)
+}
+func (e *unavailableError) Unwrap() error { return ErrStoreUnavailable }
+
+// Append adds one transaction to the durable store. The caller has
+// already validated the items against the store universe, so any error
+// here is a store fault: it feeds the breaker, and once the breaker is
+// open writes fail fast with an *unavailableError until a cooldown-gated
+// probe (which reopens the latched handle from disk) succeeds.
+func (m *storeManager) Append(items itemset.Set) error {
+	retryAfter, ok := m.br.allow()
+	if !ok {
+		return &unavailableError{retryAfter: retryAfter}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// A latched handle cannot accept writes again; reopen from disk
+	// first. This is the half-open probe's repair action, and also heals
+	// a closed-state handle that latched on the previous request.
+	if m.d.Err() != nil {
+		d, err := persist.Open(m.dir, m.opt)
+		if err != nil {
+			m.br.failure()
+			return fmt.Errorf("serve: store reopen: %w", err)
+		}
+		old := m.d
+		m.d = d
+		m.reopens++
+		old.Close() // latched handle; best-effort resource release
+	}
+
+	if err := m.d.AddSet(items); err != nil {
+		m.br.failure()
+		return fmt.Errorf("serve: store append: %w", err)
+	}
+	m.br.success()
+	return nil
+}
+
+// ClosedSet mines the closed frequent item sets of the durable state at
+// minSupport. It works in read-only degraded mode too: a latched handle
+// still serves the consistent in-memory miner state.
+func (m *storeManager) ClosedSet(minSupport int) *result.Set {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.d.ClosedSet(minSupport)
+}
+
+// Universe returns the store's item universe size.
+func (m *storeManager) Universe() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.d.Items()
+}
+
+// Snapshot persists a final snapshot (used on drain). A latched handle
+// cannot snapshot; that is not a drain failure — the durable prefix on
+// disk is already consistent.
+func (m *storeManager) Snapshot() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.d.Err() != nil {
+		return m.d.Err()
+	}
+	if err := m.d.Snapshot(); err != nil {
+		return err
+	}
+	return m.d.Sync()
+}
+
+// Close releases the store handle.
+func (m *storeManager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.d.Close()
+}
+
+// storeStats is the /statusz snapshot of the durable store.
+type storeStats struct {
+	Transactions int          `json:"transactions"`
+	Items        int          `json:"items"`
+	Snapshots    int          `json:"snapshots"`
+	Reopens      int          `json:"reopens"`
+	Latched      bool         `json:"latched"`
+	Repair       string       `json:"repair,omitempty"`
+	Breaker      breakerStats `json:"breaker"`
+}
+
+func (m *storeManager) stats() storeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := storeStats{
+		Transactions: m.d.Transactions(),
+		Items:        m.d.Items(),
+		Snapshots:    m.d.Snapshots(),
+		Reopens:      m.reopens,
+		Latched:      m.d.Err() != nil,
+		Breaker:      m.br.stats(),
+	}
+	if rep := m.d.RepairReport(); !rep.Empty() {
+		st.Repair = rep.String()
+	}
+	return st
+}
