@@ -273,6 +273,77 @@ func TestStatsPopulated(t *testing.T) {
 	}
 }
 
+// TestDensityConformance: the adaptive tid-set representations must never
+// change what is mined. The sweep pins three regimes — sparse (kernel
+// stays on sorted lists), half-full (bitmap promotion and demotion both
+// trigger), near-full (bitmaps and diffsets dominate) — on databases
+// large enough to cross the kernel's dense-universe threshold. For every
+// registered algorithm and target the pattern set must agree byte-for-
+// byte with the first registered miner's (an intersection miner that does
+// not use the kernels), and mining the duplicate-merged weighted database
+// must reproduce the expanded result exactly, so representation switching
+// is invisible in both uniform and weighted support semantics.
+func TestDensityConformance(t *testing.T) {
+	// Two database scales: the small one keeps the row-enumeration miners
+	// (Carpenter variants, flat) tractable so the whole registry is
+	// pinned; the large one crosses the kernel's dense-universe threshold
+	// (bitmap promotion needs ≥256 rows) and runs the miners that scale,
+	// skipping the ones exponential in the row count.
+	configs := []struct {
+		n, items int
+		skip     map[Algorithm]bool
+	}{
+		{96, 14, nil},
+		{400, 16, map[Algorithm]bool{"carpenter-table": true, "carpenter-lists": true, "flat": true}},
+	}
+	rng := rand.New(rand.NewSource(53))
+	for _, cfg := range configs {
+		n, items := cfg.n, cfg.items
+		for _, density := range []float64{0.05, 0.5, 0.95} {
+			rows := make([][]int, n)
+			for k := range rows {
+				for i := 0; i < items; i++ {
+					if rng.Float64() < density {
+						rows[k] = append(rows[k], i)
+					}
+				}
+			}
+			expanded := NewDatabase(rows)
+			merged := txdb.MergeDuplicates(txdb.FromSource(expanded))
+			// Keep outputs non-trivial but bounded in every regime.
+			minsup := map[float64]int{0.05: 2, 0.5: n / 5, 0.95: 3 * n / 4}[density]
+
+			want := map[Target]*ResultSet{}
+			for _, info := range AlgorithmInfos() {
+				if cfg.skip[info.Name] {
+					continue
+				}
+				for _, target := range info.Targets {
+					var got, gotMerged ResultSet
+					if err := Mine(expanded, Options{MinSupport: minsup, Algorithm: info.Name, Target: target}, got.Collect()); err != nil {
+						t.Fatalf("n=%d density %v %s/%s: %v", n, density, info.Name, target, err)
+					}
+					if err := Mine(merged, Options{MinSupport: minsup, Algorithm: info.Name, Target: target}, gotMerged.Collect()); err != nil {
+						t.Fatalf("n=%d density %v %s/%s merged: %v", n, density, info.Name, target, err)
+					}
+					got.Sort()
+					gotMerged.Sort()
+					if !gotMerged.Equal(&got) {
+						t.Fatalf("n=%d density %v %s/%s: weighted run differs from expanded:\n%s",
+							n, density, info.Name, target, gotMerged.Diff(&got, 10))
+					}
+					if ref, ok := want[target]; !ok {
+						want[target] = &got
+					} else if !got.Equal(ref) {
+						t.Fatalf("n=%d density %v %s/%s: differs from reference miner:\n%s",
+							n, density, info.Name, target, got.Diff(ref, 10))
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestWeightedConformance: merging duplicate rows into weighted rows must
 // not change any miner's output. Every registered algorithm runs on a
 // duplicate-heavy database twice — expanded (uniform weights) and merged

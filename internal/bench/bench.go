@@ -109,6 +109,14 @@ type Cell struct {
 	Ops       int64
 	NodesPeak int64
 
+	// Intersection-kernel counters (zero for miners that do not run on
+	// the tidset kernel): intersections performed, of which cut short by
+	// the early-stopping bound, and representation switches (sparse
+	// promotions to dense, dense demotions, diffset materialisations).
+	Isects      int64
+	EarlyStops  int64
+	RepSwitches int64
+
 	// Allocation footprint of the run (heap allocation count and bytes,
 	// from runtime.MemStats deltas around the single measured run). The
 	// columnar store makes these nearly size-independent for prep; the
@@ -148,6 +156,7 @@ func RunOne(a Algo, db txdb.Source, minsup int, timeout time.Duration) Cell {
 		Time: elapsed, Closed: counter.N,
 		PrepTime: st.PrepTime, MineTime: st.MineTime,
 		Ops: st.Ops, NodesPeak: st.NodesPeak,
+		Isects: st.Isects, EarlyStops: st.EarlyStops, RepSwitches: st.RepSwitches,
 		Allocs: int64(after.Mallocs - before.Mallocs),
 		Bytes:  int64(after.TotalAlloc - before.TotalAlloc),
 	}

@@ -153,6 +153,12 @@ func Registry() []Experiment {
 			Run:   runRepo,
 		},
 		{
+			ID:    "isect",
+			Title: "intersection kernels: sparse vs dense vs adaptive across densities, plus the dense mining workload",
+			Notes: "not in the paper — the adaptive kernel stays near the faster pure representation across densities with zero steady-state allocations; writes the checked-in BENCH_10.json baseline",
+			Run:   runIsect,
+		},
+		{
 			ID:    "par",
 			Title: "parallel engines: sequential vs 2/4/8 workers (identical output, measured speedup)",
 			Notes: "not in the paper — shard-and-merge IsTa and branch-parallel Carpenter; speedups require as many free cores as workers",

@@ -37,8 +37,13 @@ type JSONCell struct {
 	NodesPeak  int64   `json:"nodes_peak"`
 	Allocs     int64   `json:"allocs_per_op"`
 	Bytes      int64   `json:"bytes_per_op"`
-	TimedOut   bool    `json:"timed_out,omitempty"`
-	Skipped    bool    `json:"skipped,omitempty"`
+	// Kernel counters; omitted for miners that do not run on the tidset
+	// intersection kernel.
+	Isects      int64 `json:"isects,omitempty"`
+	EarlyStops  int64 `json:"early_stops,omitempty"`
+	RepSwitches int64 `json:"rep_switches,omitempty"`
+	TimedOut    bool  `json:"timed_out,omitempty"`
+	Skipped     bool  `json:"skipped,omitempty"`
 }
 
 // WriteBenchJSON writes the rows of one experiment as BENCH_<id>.json
@@ -49,16 +54,19 @@ func WriteBenchJSON(dir, id, workload string, algos []string, rows []Row) (strin
 		jr := JSONRow{MinSupport: r.MinSupport, Closed: r.Closed, Cells: make(map[string]JSONCell, len(r.Cells))}
 		for name, c := range r.Cells {
 			jr.Cells[name] = JSONCell{
-				Millis:     millis(c.Time),
-				PrepMillis: millis(c.PrepTime),
-				MineMillis: millis(c.MineTime),
-				Closed:     c.Closed,
-				Ops:        c.Ops,
-				NodesPeak:  c.NodesPeak,
-				Allocs:     c.Allocs,
-				Bytes:      c.Bytes,
-				TimedOut:   c.TimedOut,
-				Skipped:    c.Skipped,
+				Millis:      millis(c.Time),
+				PrepMillis:  millis(c.PrepTime),
+				MineMillis:  millis(c.MineTime),
+				Closed:      c.Closed,
+				Ops:         c.Ops,
+				NodesPeak:   c.NodesPeak,
+				Allocs:      c.Allocs,
+				Bytes:       c.Bytes,
+				Isects:      c.Isects,
+				EarlyStops:  c.EarlyStops,
+				RepSwitches: c.RepSwitches,
+				TimedOut:    c.TimedOut,
+				Skipped:     c.Skipped,
 			}
 		}
 		doc.Rows = append(doc.Rows, jr)

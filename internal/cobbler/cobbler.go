@@ -23,6 +23,7 @@ import (
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/tidset"
 	"repro/internal/txdb"
 )
 
@@ -96,17 +97,21 @@ func minePrepared(pre *prep.Prepared, minsup, threshold int, g *guard.Guard, ctl
 		return m.rowEnumerate(all)
 	}
 
-	vert := pdb.Vertical()
-	exts := make([]ext, 0, pdb.NumItems())
-	for i := 0; i < pdb.NumItems(); i++ {
-		exts = append(exts, ext{item: itemset.Item(i), tids: vert.Tids[i]})
+	m.ker = tidset.NewKernel(pdb.KernelUniverse())
+	sets := pdb.KernelSets()
+	exts := make([]ext, 0, len(sets))
+	for i := range sets {
+		exts = append(exts, ext{item: itemset.Item(i), set: sets[i]})
 	}
-	return m.mine(nil, exts)
+	return m.mine(0, nil, exts)
 }
 
+// ext is one extension candidate: an item and the tid set of
+// prefix ∪ {item}. As in package eclat, the Set must stay at a stable
+// address while its subtree is mined (diffset children reference it).
 type ext struct {
 	item itemset.Item
-	tids []int32
+	set  tidset.Set
 }
 
 type miner struct {
@@ -119,28 +124,68 @@ type miner struct {
 	guard     *guard.Guard
 	cfi       result.CFITree
 	reported  map[string]bool
+
+	ker *tidset.Kernel
+	// Depth-indexed pools (see eclat): extension and perfect-item buffers
+	// of one recursion level, plus a scratch tid list for row switches.
+	extBufs  [][]ext
+	perfBufs []itemset.Set
+	rowBuf   []int32
+}
+
+// extend builds the frequent extensions of prefix ∪ {e.item} with the
+// shared tidset kernel under the minsup bound; siblings whose
+// intersection keeps e's whole tid set become perfect extensions.
+// Results live in the depth-scoped arena and buffers, so a call
+// allocates nothing in steady state.
+func (m *miner) extend(depth int, e *ext, rest []ext) ([]ext, itemset.Set) {
+	ar := m.ker.Level(depth)
+	ar.Reset() // the previous sibling's subtree is dead
+	for len(m.extBufs) <= depth {
+		m.extBufs = append(m.extBufs, nil)
+		m.perfBufs = append(m.perfBufs, nil)
+	}
+	next := m.extBufs[depth][:0]
+	perfect := m.perfBufs[depth][:0]
+	for j := range rest {
+		f := &rest[j]
+		shared, ok := m.ker.Intersect(ar, &e.set, &f.set, m.minsup)
+		if !ok {
+			continue
+		}
+		if shared.Card() == e.set.Card() {
+			perfect = append(perfect, f.item)
+			continue
+		}
+		next = append(next, ext{item: f.item, set: shared})
+	}
+	m.extBufs[depth] = next
+	m.perfBufs[depth] = perfect
+	return next, perfect
 }
 
 // mine is the column-enumeration part: Eclat-style DFS over items with
 // closure candidates, switching to row enumeration when a node's cover is
 // small enough.
-func (m *miner) mine(prefix itemset.Set, exts []ext) error {
-	for idx, e := range exts {
+func (m *miner) mine(depth int, prefix itemset.Set, exts []ext) error {
+	for idx := range exts {
+		e := &exts[idx]
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
-		m.ctl.CountOps(len(exts) - idx - 1) // tid-list intersections below
-		supp := m.db.TidsWeight(e.tids)
+		m.ctl.CountOps(len(exts) - idx - 1) // tid-set intersections below
+		supp := e.set.Support()
 
 		// The switch compares distinct rows, not weight: row enumeration
 		// is exponential in the number of rows in the block.
-		if len(e.tids) <= m.threshold {
+		if e.set.Card() <= m.threshold {
 			// Row switch: a Carpenter run over this cover finds every
 			// closed set whose cover is contained in it — which includes
 			// everything this subtree could produce. The sibling
 			// extensions are NOT covered (their tid sets differ), so only
 			// this branch is replaced.
-			if err := m.rowEnumerate(e.tids); err != nil {
+			m.rowBuf = e.set.AppendTids(m.rowBuf[:0])
+			if err := m.rowEnumerate(m.rowBuf); err != nil {
 				return err
 			}
 			continue
@@ -150,19 +195,9 @@ func (m *miner) mine(prefix itemset.Set, exts []ext) error {
 		// items (as in FP-close / Eclat-closed; smaller-code same-support
 		// supersets were handled in earlier branches and are caught by
 		// the repository).
-		var next []ext
-		perfect := itemset.Set{}
-		for _, f := range exts[idx+1:] {
-			shared := intersectTids(e.tids, f.tids)
-			if m.db.TidsWeight(shared) < m.minsup {
-				continue
-			}
-			if len(shared) == len(e.tids) {
-				perfect = append(perfect, f.item)
-				continue
-			}
-			next = append(next, ext{item: f.item, tids: shared})
-		}
+		next, perfect := m.extend(depth, e, exts[idx+1:])
+		st := m.ker.DrainStats()
+		m.ctl.CountKernel(st.Isects, st.EarlyStops, st.Switches)
 		cand := make(itemset.Set, 0, len(prefix)+1+len(perfect))
 		cand = append(cand, prefix...)
 		cand = append(cand, e.item)
@@ -173,7 +208,7 @@ func (m *miner) mine(prefix itemset.Set, exts []ext) error {
 		}
 		m.emit(canon, supp)
 		if len(next) > 0 {
-			if err := m.mine(canon.Clone(), next); err != nil {
+			if err := m.mine(depth+1, canon.Clone(), next); err != nil {
 				return err
 			}
 		}
@@ -237,26 +272,4 @@ func doneOf(ctl *mining.Control) <-chan struct{} {
 		return ch
 	}
 	return nil
-}
-
-func intersectTids(a, b []int32) []int32 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	out := make([]int32, 0, n)
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return out
 }

@@ -6,6 +6,12 @@
 // the closed target uses the same closure-candidate + repository scheme as
 // FP-close (package fpgrowth), adapted to Eclat's ascending processing
 // order.
+//
+// Tid sets are internal/tidset kernel sets: the representation (sparse
+// list, bitmap, diffset) is chosen adaptively per node, intersections
+// stop early once the minsup bound is unreachable, and each recursion
+// level draws its result storage from a depth-scoped arena, so a level
+// runs allocation-free in steady state.
 package eclat
 
 import (
@@ -15,6 +21,7 @@ import (
 	"repro/internal/mining"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/tidset"
 	"repro/internal/txdb"
 )
 
@@ -47,10 +54,13 @@ type Options struct {
 }
 
 // ext is one extension candidate at a search node: an item and the tid
-// set of prefix ∪ {item}.
+// set of prefix ∪ {item}. The Set value must stay at a stable address
+// while its subtree is mined (diffset children reference it), which the
+// depth-indexed extension buffers guarantee: a buffer is rewritten only
+// after the subtree reading it has fully unwound.
 type ext struct {
 	item itemset.Item
-	tids []int32
+	set  tidset.Set
 }
 
 // Mine runs Eclat on db, reporting patterns in original item codes.
@@ -109,52 +119,78 @@ type eclatMiner struct {
 	rep    result.Reporter
 	ctl    *mining.Control
 	cfi    result.CFITree
+
+	ker *tidset.Kernel
+	// Depth-indexed pools: the extension and perfect-item buffers of one
+	// recursion level, reused across that level's siblings.
+	extBufs  [][]ext
+	perfBufs []itemset.Set
 }
 
 func (m *eclatMiner) run(pdb *txdb.DB) error {
-	vert := pdb.Vertical()
-	root := make([]ext, 0, pdb.NumItems())
-	for i := 0; i < pdb.NumItems(); i++ {
+	m.ker = tidset.NewKernel(pdb.KernelUniverse())
+	sets := pdb.KernelSets()
+	root := make([]ext, 0, len(sets))
+	for i := range sets {
 		// Prepare already removed infrequent items.
-		root = append(root, ext{item: itemset.Item(i), tids: vert.Tids[i]})
+		root = append(root, ext{item: itemset.Item(i), set: sets[i]})
 	}
 	prefix := make(itemset.Set, 0, 32)
-	return m.mine(prefix, root)
+	return m.mine(0, prefix, root)
+}
+
+// extend builds the frequent extensions of prefix ∪ {e.item}: e's tid
+// set intersected with each remaining sibling's, under the minsup bound
+// so hopeless merges stop early. For the Closed target, siblings whose
+// intersection keeps e's whole tid set are split off as perfect
+// extensions (§2.2) instead of becoming child nodes. Results live in the
+// depth-scoped arena and buffers; in steady state a call allocates
+// nothing.
+func (m *eclatMiner) extend(depth int, e *ext, rest []ext) ([]ext, itemset.Set) {
+	ar := m.ker.Level(depth)
+	ar.Reset() // the previous sibling's subtree is dead
+	for len(m.extBufs) <= depth {
+		m.extBufs = append(m.extBufs, nil)
+		m.perfBufs = append(m.perfBufs, nil)
+	}
+	next := m.extBufs[depth][:0]
+	perfect := m.perfBufs[depth][:0]
+	for j := range rest {
+		f := &rest[j]
+		shared, ok := m.ker.Intersect(ar, &e.set, &f.set, m.minsup)
+		if !ok {
+			continue
+		}
+		if m.target == Closed && shared.Card() == e.set.Card() {
+			perfect = append(perfect, f.item)
+			continue
+		}
+		next = append(next, ext{item: f.item, set: shared})
+	}
+	m.extBufs[depth] = next
+	m.perfBufs[depth] = perfect
+	return next, perfect
 }
 
 // mine processes one search node: prefix with the frequent extensions
 // exts (each carrying the tid set of prefix ∪ {item}).
-func (m *eclatMiner) mine(prefix itemset.Set, exts []ext) error {
-	for idx, e := range exts {
+func (m *eclatMiner) mine(depth int, prefix itemset.Set, exts []ext) error {
+	for idx := range exts {
+		e := &exts[idx]
 		if err := m.ctl.Tick(); err != nil {
 			return err
 		}
-		supp := m.db.TidsWeight(e.tids)
-		m.ctl.CountOps(len(exts) - idx - 1) // tid-list intersections below
-
-		// Intersect with the remaining extensions.
-		var next []ext
-		var perfect itemset.Set
-		for _, f := range exts[idx+1:] {
-			shared := intersectTids(e.tids, f.tids)
-			if m.db.TidsWeight(shared) < m.minsup {
-				continue
-			}
-			if m.target == Closed && len(shared) == len(e.tids) {
-				// f.item is a perfect extension of prefix ∪ {e.item}:
-				// absorb it into the closure candidate instead of
-				// enumerating both halves of the split (§2.2).
-				perfect = append(perfect, f.item)
-				continue
-			}
-			next = append(next, ext{item: f.item, tids: shared})
-		}
+		supp := e.set.Support()
+		m.ctl.CountOps(len(exts) - idx - 1) // tid-set intersections below
+		next, perfect := m.extend(depth, e, exts[idx+1:])
+		st := m.ker.DrainStats()
+		m.ctl.CountKernel(st.Isects, st.EarlyStops, st.Switches)
 
 		switch m.target {
 		case All:
 			m.emit(append(prefix, e.item), supp)
 			if len(next) > 0 {
-				if err := m.mine(append(prefix, e.item), next); err != nil {
+				if err := m.mine(depth+1, append(prefix, e.item), next); err != nil {
 					return err
 				}
 			}
@@ -172,7 +208,7 @@ func (m *eclatMiner) mine(prefix itemset.Set, exts []ext) error {
 			m.cfi.Insert(canon, supp)
 			m.emit(canon, supp)
 			if len(next) > 0 {
-				if err := m.mine(canon.Clone(), next); err != nil {
+				if err := m.mine(depth+1, canon.Clone(), next); err != nil {
 					return err
 				}
 			}
@@ -183,26 +219,4 @@ func (m *eclatMiner) mine(prefix itemset.Set, exts []ext) error {
 
 func (m *eclatMiner) emit(items itemset.Set, supp int) {
 	m.rep.Report(m.pre.DecodeSet(items), supp)
-}
-
-func intersectTids(a, b []int32) []int32 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	out := make([]int32, 0, n)
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return out
 }

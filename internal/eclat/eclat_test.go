@@ -122,15 +122,3 @@ func TestEdgeCasesAndCancel(t *testing.T) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 }
-
-func TestIntersectTids(t *testing.T) {
-	a := []int32{1, 3, 5, 7}
-	b := []int32{2, 3, 6, 7, 9}
-	got := intersectTids(a, b)
-	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
-		t.Fatalf("intersectTids = %v", got)
-	}
-	if out := intersectTids(a, nil); len(out) != 0 {
-		t.Fatalf("intersect with empty = %v", out)
-	}
-}

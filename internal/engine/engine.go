@@ -179,6 +179,9 @@ func Run(db txdb.Source, name string, spec Spec, rep result.Reporter) error {
 		spec.Stats.Checks = counters.Checks.Load()
 		spec.Stats.Ops = counters.Ops.Load()
 		spec.Stats.NodesPeak = counters.NodesPeak.Load()
+		spec.Stats.Isects = counters.Isects.Load()
+		spec.Stats.EarlyStops = counters.EarlyStops.Load()
+		spec.Stats.RepSwitches = counters.RepSwitches.Load()
 		spec.Stats.Retries = counters.Retries.Load()
 		spec.Stats.Degraded = counters.Degraded.Load()
 	}

@@ -38,6 +38,13 @@ type Stats struct {
 	// nodes or stored sets; 0 for algorithms without a polled
 	// repository).
 	NodesPeak int64
+	// Isects counts tid-set kernel intersections started; EarlyStops the
+	// ones the kernel abandoned once the minsup bound became unreachable;
+	// RepSwitches its representation conversions (sparse/dense/diffset).
+	// All zero for algorithms that do not use the tidset kernels.
+	Isects      int64
+	EarlyStops  int64
+	RepSwitches int64
 	// Retries counts healed re-attempts of failed work units (shard
 	// re-mines, branch re-explorations); nonzero only with Spec.Retry
 	// enabled.
@@ -69,6 +76,10 @@ func (s *Stats) String() string {
 		s.PreppedTransactions, s.Transactions, s.PreppedItems, s.Items,
 		s.Patterns, s.Ops, s.Checks, s.NodesPeak,
 		s.PrepTime.Round(time.Microsecond), s.MineTime.Round(time.Microsecond))
+	if s.Isects != 0 {
+		out += fmt.Sprintf(" isects=%d early-stops=%d rep-switches=%d",
+			s.Isects, s.EarlyStops, s.RepSwitches)
+	}
 	if s.Retries != 0 || s.Degraded != 0 {
 		out += fmt.Sprintf(" retries=%d degraded=%d", s.Retries, s.Degraded)
 	}

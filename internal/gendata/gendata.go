@@ -455,3 +455,31 @@ func Quest(cfg QuestConfig) *txdb.DB {
 	}
 	return out.Build()
 }
+
+// Dense builds the reference workload of the intersection-kernel
+// benchmarks: n rows over m items, where item i is present with
+// probability ramping linearly from lo at i=0 to hi at i=m-1. The ramp
+// matters: after prep reorders items by frequency, the search descends
+// from near-full tid sets (where the kernel's dense bitmaps and
+// popcount win) through the crossover region down to sparse tails, so a
+// single database exercises every representation and both switch
+// directions.
+func Dense(n, m int, lo, hi float64, seed int64) *txdb.DB {
+	rng := rand.New(rand.NewSource(seed))
+	b := txdb.NewBuilder(n, n*m/2)
+	b.SetNumItems(m)
+	row := make(itemset.Set, 0, m)
+	for k := 0; k < n; k++ {
+		// Items are generated in ascending order, so the row is already
+		// canonical when it reaches the flat columns.
+		row = row[:0]
+		for i := 0; i < m; i++ {
+			p := lo + (hi-lo)*float64(i)/float64(m-1)
+			if rng.Float64() < p {
+				row = append(row, itemset.Item(i))
+			}
+		}
+		b.AddRow(row)
+	}
+	return b.Build()
+}

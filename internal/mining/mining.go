@@ -78,6 +78,15 @@ type Counters struct {
 	// Patterns counts the patterns reported so far (engine reporting
 	// path; atomic so progress snapshots can read it from any worker).
 	Patterns atomic.Int64
+	// Isects counts tid-set kernel intersections started (tidset.Stats
+	// drained through CountKernel).
+	Isects atomic.Int64
+	// EarlyStops counts kernel intersections abandoned by the minsup
+	// bound before completion.
+	EarlyStops atomic.Int64
+	// RepSwitches counts kernel representation conversions (promotions,
+	// demotions, diffset materializations).
+	RepSwitches atomic.Int64
 	// Retries counts healed re-attempts of failed work units (shard
 	// re-mines, branch re-explorations, retried persistence ops). Updated
 	// only on supervisor paths, never in mining loops.
@@ -149,6 +158,9 @@ type Control struct {
 	hook     func() error // per-Control tick hook, sampled from tickHook
 	budget   int
 	ops      int64 // CountOps units not yet flushed to counters
+	isects   int64 // kernel counters not yet flushed to counters
+	estops   int64
+	switches int64
 	err      error // latched: once failed, every check reports this error
 }
 
@@ -200,15 +212,45 @@ func (c *Control) CountOps(n int) {
 	c.ops += int64(n)
 }
 
+// CountKernel records drained tid-set kernel statistics (intersections,
+// early stops, representation switches). Like CountOps, the counts
+// accumulate Control-locally and reach the shared Counters only on the
+// amortized slow path, keeping kernel draining off the atomic bus.
+func (c *Control) CountKernel(isects, earlyStops, switches int64) {
+	if c == nil || c.counters == nil {
+		return
+	}
+	c.isects += isects
+	c.estops += earlyStops
+	c.switches += switches
+}
+
 // Flush pushes any unflushed counter state to the shared Counters. The
 // engine calls it once after a run; miners never need to.
 func (c *Control) Flush() {
 	if c == nil || c.counters == nil {
 		return
 	}
+	c.flushCounts()
+}
+
+// flushCounts moves Control-local counts into the shared Counters.
+func (c *Control) flushCounts() {
 	if c.ops > 0 {
 		c.counters.Ops.Add(c.ops)
 		c.ops = 0
+	}
+	if c.isects > 0 {
+		c.counters.Isects.Add(c.isects)
+		c.isects = 0
+	}
+	if c.estops > 0 {
+		c.counters.EarlyStops.Add(c.estops)
+		c.estops = 0
+	}
+	if c.switches > 0 {
+		c.counters.RepSwitches.Add(c.switches)
+		c.switches = 0
 	}
 }
 
@@ -240,10 +282,7 @@ func (c *Control) Tick() error {
 func (c *Control) check() error {
 	if c.counters != nil {
 		c.counters.Checks.Add(1)
-		if c.ops > 0 {
-			c.counters.Ops.Add(c.ops)
-			c.ops = 0
-		}
+		c.flushCounts()
 	}
 	if c.hook != nil {
 		if err := c.hook(); err != nil {

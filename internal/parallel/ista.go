@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/prep"
 	"repro/internal/result"
+	"repro/internal/tidset"
 	"repro/internal/txdb"
 )
 
@@ -362,14 +363,20 @@ func minePreparedIsTa(pre *prep.Prepared, cfg runCfg, rep result.Reporter) error
 // in preassigned slots — which is what lets the supervisor retry it.
 func countStripe(db *txdb.DB, cands []itemset.Set, supp []int, w, workers, minsup int, done <-chan struct{}, g *guard.Guard, counters *mining.Counters) error {
 	wctl := mining.GuardedCounted(done, g, counters)
-	vert := db.Vertical()
-	var bufs [2][]int32
+	sets := db.KernelSets()
+	// A flat kernel (no diffset results) because the ping-pong hold slots
+	// below give intermediate sets no stable parent storage; its level-0
+	// arena is reset per candidate, so a stripe recounts allocation-free.
+	ker := tidset.NewFlatKernel(db.KernelUniverse())
+	var hold [2]tidset.Set
 	for i := w; i < len(cands); i += workers {
 		if err := wctl.Tick(); err != nil {
 			return err
 		}
 		wctl.CountOps(1) // one exact candidate recount
-		supp[i] = countSupport(db, vert, cands[i], minsup, &bufs)
+		supp[i] = countSupport(ker, sets, cands[i], minsup, &hold)
+		st := ker.DrainStats()
+		wctl.CountKernel(st.Isects, st.EarlyStops, st.Switches)
 	}
 	wctl.Flush()
 	return nil
@@ -438,40 +445,28 @@ func mineShard(shard *txdb.DB, minsup int, done <-chan struct{}, g *guard.Guard,
 	return out, nil
 }
 
-// countSupport returns the exact weighted support of items in db (vert is
-// db's vertical view), or 0 if it cannot reach minsup (an early exit;
-// every value below minsup is equivalent for the caller). bufs holds two
-// reusable intersection buffers so repeated calls do not allocate. On a
-// uniform database the weight of a tid list is its length, so the checks
-// reduce to the classical count comparisons.
-func countSupport(db *txdb.DB, v *txdb.Vertical, items itemset.Set, minsup int, bufs *[2][]int32) int {
-	cur := v.Tids[items[0]] // borrowed; never written
-	next := 0               // buffer to write the upcoming intersection into
+// countSupport returns the exact weighted support of items in the
+// kernel's database (sets are its per-item base sets), or 0 if it cannot
+// reach minsup — the kernel's early-stopping bound is exact, so every
+// abandoned intersection is genuinely below threshold and every value
+// below minsup is equivalent for the caller. Intermediate sets ping-pong
+// through hold; storage comes from the kernel's level-0 arena, reset here
+// per call, so repeated calls do not allocate.
+func countSupport(ker *tidset.Kernel, sets []tidset.Set, items itemset.Set, minsup int, hold *[2]tidset.Set) int {
+	ar := ker.Level(0)
+	ar.Reset()
+	cur := &sets[items[0]] // borrowed; never written
+	next := 0              // hold slot for the upcoming intersection
 	for _, it := range items[1:] {
-		if db.TidsWeight(cur) < minsup {
+		res, ok := ker.Intersect(ar, cur, &sets[it], minsup)
+		if !ok {
 			return 0
 		}
-		other := v.Tids[it]
-		out := bufs[next][:0]
-		i, j := 0, 0
-		for i < len(cur) && j < len(other) {
-			a, b := cur[i], other[j]
-			switch {
-			case a == b:
-				out = append(out, a)
-				i++
-				j++
-			case a < b:
-				i++
-			default:
-				j++
-			}
-		}
-		bufs[next] = out // keep the (possibly re-grown) buffer
-		cur = out
+		hold[next] = res
+		cur = &hold[next]
 		next = 1 - next
 	}
-	if w := db.TidsWeight(cur); w >= minsup {
+	if w := cur.Support(); w >= minsup {
 		return w
 	}
 	return 0

@@ -1,0 +1,25 @@
+package tidset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzTidsetKernels drives the full representation cross-check from
+// fuzzer-chosen universe sizes, densities, weights, and bounds: every
+// representation pair (and the flat kernel) must agree with the naive
+// sparse merge on members, weighted support, and the early-stop verdict.
+func FuzzTidsetKernels(f *testing.F) {
+	f.Add(uint16(256), int64(1), int64(2), byte(128), byte(128), uint16(4), true)
+	f.Add(uint16(64), int64(3), int64(4), byte(3), byte(250), uint16(0), false)
+	f.Add(uint16(2048), int64(5), int64(6), byte(240), byte(1), uint16(30), true)
+	f.Add(uint16(0), int64(7), int64(8), byte(0), byte(0), uint16(1), false)
+	f.Add(uint16(1000), int64(9), int64(10), byte(255), byte(255), uint16(900), true)
+	f.Fuzz(func(t *testing.T, n uint16, sa, sb int64, da, db byte, bound uint16, weighted bool) {
+		N := int(n) % 3000
+		u := testUniverse(N, weighted, rand.New(rand.NewSource(sa^sb)))
+		atids := randomSubset(rand.New(rand.NewSource(sa)), N, float64(da)/255)
+		btids := randomSubset(rand.New(rand.NewSource(sb)), N, float64(db)/255)
+		checkPair(t, u, atids, btids, int(bound))
+	})
+}

@@ -1,0 +1,462 @@
+package tidset
+
+import "math/bits"
+
+// Stats counts kernel work since the last drain. The counters are plain
+// ints bumped on the kernel's own hot path and drained by the miners into
+// mining.Control's amortized slow path, so the engine's nil-sink fast
+// path stays free of atomics.
+type Stats struct {
+	// Isects counts intersections started (including ones stopped early).
+	Isects int64
+	// EarlyStops counts intersections abandoned by the bound check before
+	// the merge finished.
+	EarlyStops int64
+	// Switches counts representation conversions: sparse→dense
+	// promotions, dense→sparse demotions, diffset rebuilds and diffset
+	// materializations.
+	Switches int64
+}
+
+// Kernel bundles a universe with per-depth scratch arenas and work
+// counters: one Kernel per mining goroutine, shared by every intersection
+// of that run. The zero value is not usable; construct with NewKernel or
+// NewFlatKernel.
+type Kernel struct {
+	u      Universe
+	levels []*Arena
+	stats  Stats
+	flat   bool
+}
+
+// NewKernel returns a kernel over u with the full adaptive representation
+// repertoire, including diffset results. Diff results reference their
+// left operand as parent, so callers must keep operand storage stable for
+// the lifetime of results — the natural discipline of a depth-first
+// search, where operands live higher on the recursion stack.
+func NewKernel(u Universe) *Kernel { return &Kernel{u: u} }
+
+// NewFlatKernel returns a kernel that never produces Diff results, for
+// callers without a stable operand stack (the parallel recount stripes,
+// which ping-pong two buffers).
+func NewFlatKernel(u Universe) *Kernel { return &Kernel{u: u, flat: true} }
+
+// Universe returns the kernel's tid domain.
+func (k *Kernel) Universe() Universe { return k.u }
+
+// Level returns the scratch arena for recursion depth d, creating deeper
+// levels on first descent. Callers Reset it when the storage taken from
+// it is dead (per sibling subtree in the miners).
+func (k *Kernel) Level(d int) *Arena {
+	for len(k.levels) <= d {
+		k.levels = append(k.levels, &Arena{})
+	}
+	return k.levels[d]
+}
+
+// DrainStats returns the work counters accumulated since the last drain
+// and resets them.
+func (k *Kernel) DrainStats() Stats {
+	s := k.stats
+	k.stats = Stats{}
+	return s
+}
+
+// span is an operand normalized for the pair kernels: exactly one of
+// tids/words is set.
+type span struct {
+	tids   []int32
+	words  []uint64
+	card   int
+	weight int
+}
+
+// spanOf views s as concrete storage, materializing Diff sets into ar
+// (their parents are always Sparse by construction, so this is a single
+// difference merge).
+func (k *Kernel) spanOf(ar *Arena, s *Set) span {
+	switch s.rep {
+	case Sparse:
+		return span{tids: s.tids, card: s.card, weight: s.weight}
+	case Dense:
+		return span{words: s.words, card: s.card, weight: s.weight}
+	default:
+		k.stats.Switches++
+		p, d := s.parent.tids, s.tids
+		out := ar.takeInts(s.card)
+		j := 0
+		for _, t := range p {
+			if j < len(d) && d[j] == t {
+				j++
+				continue
+			}
+			out = append(out, t)
+		}
+		return span{tids: out, card: s.card, weight: s.weight}
+	}
+}
+
+// diffParent returns a when an intersection result may be represented as
+// a diffset relative to a, and nil otherwise. Only Sparse left operands
+// anchor diffsets, which keeps every Diff parent Sparse (chains stay one
+// level deep; diff-of-diff results are rebased onto the shared parent).
+func (k *Kernel) diffParent(a *Set) *Set {
+	if k.flat || a.rep != Sparse || a.card < diffMinCard {
+		return nil
+	}
+	return a
+}
+
+// Intersect computes a ∩ b, taking result storage from ar and choosing
+// the result representation adaptively. bound, when positive, is the
+// caller's minimum support: the kernel abandons the intersection as soon
+// as the running matched weight plus the remaining weight of either
+// operand cannot reach it, and returns ok=false. The early stop is exact:
+// ok=false if and only if the intersection's weighted support is below
+// bound, so callers may treat ok=false as "infrequent" without a recount.
+//
+// Diff results reference a as their parent; a must stay live and
+// unmoved while the result is. Operands are never modified.
+func (k *Kernel) Intersect(ar *Arena, a, b *Set, bound int) (Set, bool) {
+	k.stats.Isects++
+	if bound > 0 && (a.weight < bound || b.weight < bound) {
+		// The result is contained in both operands, so either weight
+		// already bounds it from above.
+		k.stats.EarlyStops++
+		return Set{}, false
+	}
+	if !k.flat && a.rep == Diff && b.rep == Diff && a.parent == b.parent {
+		return k.isectDiffDiff(ar, a, b, bound)
+	}
+	av, bv := k.spanOf(ar, a), k.spanOf(ar, b)
+	switch {
+	case av.words != nil && bv.words != nil:
+		return k.isectDenseDense(ar, av, bv, bound)
+	case av.words != nil:
+		// Dense a × sparse b: probe b's tids against a's bitmap. The
+		// result cannot anchor a diffset (its drops are relative to b).
+		return k.isectSparseDense(ar, bv, av, nil, bound)
+	case bv.words != nil:
+		return k.isectSparseDense(ar, av, bv, k.diffParent(a), bound)
+	default:
+		if av.card >= gallopRatio*bv.card || bv.card >= gallopRatio*av.card {
+			return k.isectGallop(ar, av, bv, a, bound)
+		}
+		return k.isectSparseSparse(ar, av, bv, k.diffParent(a), bound)
+	}
+}
+
+// finishSparse applies the output-representation decision shared by the
+// sparse-producing kernels. out is the last ints reservation in ar;
+// dropped is the difference list relative to parent (nil when no diffset
+// anchor exists or the drop list overflowed its cap), reserved in ar
+// directly below out.
+func (k *Kernel) finishSparse(ar *Arena, out []int32, weight int, parent *Set, dropped []int32, droppedOK bool) Set {
+	card := len(out)
+	if parent != nil && droppedOK && parent.card-card <= parent.card/diffKeepDiv {
+		ar.dropInts() // the diffset replaces the materialized members
+		return Set{rep: Diff, card: card, weight: weight, tids: dropped, parent: parent}
+	}
+	if k.u.N >= denseMinUniverse && card >= k.u.N/densePromoteDiv {
+		words := ar.takeWords(k.u.words())
+		for _, t := range out {
+			words[t>>6] |= 1 << (uint(t) & 63)
+		}
+		ar.dropInts()
+		k.stats.Switches++
+		return Set{rep: Dense, card: card, weight: weight, words: words}
+	}
+	ar.shrinkInts(out)
+	return Set{rep: Sparse, card: card, weight: weight, tids: out}
+}
+
+// isectSparseSparse is the linear merge of two sorted tid lists with
+// early stopping: remA/remB track the unconsumed weight of each operand,
+// and matched + min(remA, remB) is an exact upper bound on the final
+// support — every remaining match costs the same weight on both sides.
+func (k *Kernel) isectSparseSparse(ar *Arena, av, bv span, parent *Set, bound int) (Set, bool) {
+	mark := ar.markInts()
+	var dropped []int32
+	droppedOK := parent != nil
+	if droppedOK {
+		dropped = ar.takeInts(parent.card/diffKeepDiv + 1)
+	}
+	out := ar.takeInts(min(av.card, bv.card))
+	at, bt := av.tids, bv.tids
+	matched, remA, remB := 0, av.weight, bv.weight
+	i, j := 0, 0
+	for i < len(at) && j < len(bt) {
+		x, y := at[i], bt[j]
+		switch {
+		case x == y:
+			w := k.u.weightAt(x)
+			out = append(out, x)
+			matched += w
+			remA -= w
+			remB -= w
+			i++
+			j++
+		case x < y:
+			w := k.u.weightAt(x)
+			remA -= w
+			if droppedOK {
+				if len(dropped) < cap(dropped) {
+					dropped = append(dropped, x)
+				} else {
+					droppedOK = false
+				}
+			}
+			i++
+		default:
+			remB -= k.u.weightAt(y)
+			j++
+		}
+		if bound > 0 && matched+min(remA, remB) < bound {
+			k.stats.EarlyStops++
+			ar.restoreInts(mark)
+			return Set{}, false
+		}
+	}
+	if bound > 0 && matched < bound {
+		ar.restoreInts(mark)
+		return Set{}, false
+	}
+	if droppedOK {
+		// Tids of a past the merged range were dropped too.
+		for ; i < len(at); i++ {
+			if len(dropped) == cap(dropped) {
+				droppedOK = false
+				break
+			}
+			dropped = append(dropped, at[i])
+		}
+	}
+	return k.finishSparse(ar, out, matched, parent, dropped, droppedOK), true
+}
+
+// isectGallop intersects two sorted lists of very different lengths by
+// walking the shorter and binary-probing the longer with exponential
+// (galloping) steps from the previous match position. The early-stop
+// bound uses the shorter side only — matched + remaining-of-shorter is
+// still an exact upper bound, since the result is contained in the
+// shorter list.
+func (k *Kernel) isectGallop(ar *Arena, av, bv span, a *Set, bound int) (Set, bool) {
+	sv, lv := av, bv
+	var parent *Set
+	if av.card > bv.card {
+		sv, lv = bv, av // iterate the shorter list
+	} else {
+		parent = k.diffParent(a) // drops tracked relative to a's members
+	}
+	mark := ar.markInts()
+	var dropped []int32
+	droppedOK := parent != nil
+	if droppedOK {
+		dropped = ar.takeInts(parent.card/diffKeepDiv + 1)
+	}
+	out := ar.takeInts(sv.card)
+	long := lv.tids
+	matched, remS := 0, sv.weight
+	pos := 0
+	for _, t := range sv.tids {
+		w := k.u.weightAt(t)
+		remS -= w
+		pos = gallop(long, pos, t)
+		if pos < len(long) && long[pos] == t {
+			out = append(out, t)
+			matched += w
+			pos++
+		} else {
+			if droppedOK {
+				if len(dropped) < cap(dropped) {
+					dropped = append(dropped, t)
+				} else {
+					droppedOK = false
+				}
+			}
+			if bound > 0 && matched+remS < bound {
+				k.stats.EarlyStops++
+				ar.restoreInts(mark)
+				return Set{}, false
+			}
+		}
+	}
+	if bound > 0 && matched < bound {
+		ar.restoreInts(mark)
+		return Set{}, false
+	}
+	return k.finishSparse(ar, out, matched, parent, dropped, droppedOK), true
+}
+
+// gallop returns the smallest index j >= from with l[j] >= t.
+func gallop(l []int32, from int, t int32) int {
+	if from >= len(l) || l[from] >= t {
+		return from
+	}
+	lo, hi, step := from, from+1, 1
+	for hi < len(l) && l[hi] < t {
+		lo = hi
+		step <<= 1
+		hi += step
+	}
+	if hi > len(l) {
+		hi = len(l)
+	}
+	// Invariant: l[lo] < t, and l[hi] >= t (or hi == len(l)).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid] < t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// isectSparseDense probes the sparse operand's tids against the dense
+// operand's bitmap. parent, when non-nil, is the diffset anchor for the
+// sparse side (its members are exactly sv's).
+func (k *Kernel) isectSparseDense(ar *Arena, sv, dv span, parent *Set, bound int) (Set, bool) {
+	mark := ar.markInts()
+	var dropped []int32
+	droppedOK := parent != nil
+	if droppedOK {
+		dropped = ar.takeInts(parent.card/diffKeepDiv + 1)
+	}
+	out := ar.takeInts(min(sv.card, dv.card))
+	words := dv.words
+	matched, remS := 0, sv.weight
+	for _, t := range sv.tids {
+		w := k.u.weightAt(t)
+		remS -= w
+		if words[t>>6]&(1<<(uint(t)&63)) != 0 {
+			out = append(out, t)
+			matched += w
+			continue
+		}
+		if droppedOK {
+			if len(dropped) < cap(dropped) {
+				dropped = append(dropped, t)
+			} else {
+				droppedOK = false
+			}
+		}
+		if bound > 0 && matched+remS < bound {
+			k.stats.EarlyStops++
+			ar.restoreInts(mark)
+			return Set{}, false
+		}
+	}
+	if bound > 0 && matched < bound {
+		ar.restoreInts(mark)
+		return Set{}, false
+	}
+	return k.finishSparse(ar, out, matched, parent, dropped, droppedOK), true
+}
+
+// isectDenseDense is the word-parallel AND with popcount support
+// counting. On uniform universes the early-stop bound subtracts each
+// operand word's popcount as it is consumed — matched + min(remA, remB)
+// is exact. On weighted universes the per-word weighted popcount makes a
+// mid-loop bound as expensive as finishing, so the kernel completes the
+// AND and applies only the final bound check (still exact, never early).
+func (k *Kernel) isectDenseDense(ar *Arena, av, bv span, bound int) (Set, bool) {
+	n := k.u.words()
+	out := ar.takeWords(n)
+	aw, bw := av.words, bv.words
+	matched, card := 0, 0
+	uniform := k.u.Uniform()
+	remA, remB := av.weight, bv.weight
+	for i := 0; i < n; i++ {
+		w := aw[i] & bw[i]
+		out[i] = w
+		c := bits.OnesCount64(w)
+		card += c
+		if uniform {
+			matched += c
+			remA -= bits.OnesCount64(aw[i])
+			remB -= bits.OnesCount64(bw[i])
+			if bound > 0 && matched+min(remA, remB) < bound {
+				k.stats.EarlyStops++
+				ar.dropWords()
+				return Set{}, false
+			}
+		} else if w != 0 {
+			matched += k.u.wordWeight(i, w)
+		}
+	}
+	if bound > 0 && matched < bound {
+		ar.dropWords()
+		return Set{}, false
+	}
+	if card < k.u.N/sparseDemoteDiv {
+		tids := ar.takeInts(card)
+		for wi, w := range out {
+			base := int32(wi << 6)
+			for w != 0 {
+				tids = append(tids, base+int32(bits.TrailingZeros64(w)))
+				w &= w - 1
+			}
+		}
+		ar.dropWords()
+		k.stats.Switches++
+		return Set{rep: Sparse, card: card, weight: matched, tids: tids}, true
+	}
+	return Set{rep: Dense, card: card, weight: matched, words: out}, true
+}
+
+// isectDiffDiff intersects two diffsets that share a parent P: with
+// a = P\Da and b = P\Db, the result is P\(Da ∪ Db), built as a single
+// difference-list merge without touching P's members. The result is
+// rebased onto P (not chained under a), so diff parents stay Sparse and
+// materialization is always one merge away. Early stopping subtracts the
+// weight of every tid b removes beyond a's removals from a's support —
+// a.weight − removed is an exact upper bound that only decreases.
+func (k *Kernel) isectDiffDiff(ar *Arena, a, b *Set, bound int) (Set, bool) {
+	p := a.parent
+	da, db := a.tids, b.tids
+	union := ar.takeInts(len(da) + len(db))
+	removed := 0
+	i, j := 0, 0
+	for i < len(da) || j < len(db) {
+		switch {
+		case j == len(db) || (i < len(da) && da[i] < db[j]):
+			union = append(union, da[i])
+			i++
+		case i == len(da) || db[j] < da[i]:
+			t := db[j]
+			union = append(union, t)
+			removed += k.u.weightAt(t)
+			j++
+			if bound > 0 && a.weight-removed < bound {
+				k.stats.EarlyStops++
+				ar.dropInts()
+				return Set{}, false
+			}
+		default: // equal: removed from a already
+			union = append(union, da[i])
+			i++
+			j++
+		}
+	}
+	weight := a.weight - removed
+	card := p.card - len(union)
+	if len(union) <= p.card/diffKeepDiv {
+		ar.shrinkInts(union)
+		return Set{rep: Diff, card: card, weight: weight, tids: union, parent: p}, true
+	}
+	// The difference list outgrew its keep threshold: materialize the
+	// members (P minus union) and fall back to Sparse.
+	k.stats.Switches++
+	out := ar.takeInts(card)
+	j = 0
+	for _, t := range p.tids {
+		if j < len(union) && union[j] == t {
+			j++
+			continue
+		}
+		out = append(out, t)
+	}
+	return Set{rep: Sparse, card: card, weight: weight, tids: out}, true
+}

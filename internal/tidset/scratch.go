@@ -1,0 +1,133 @@
+package tidset
+
+// Arena is a level-scoped bump allocator for kernel results: one arena
+// per recursion depth lets a whole Eclat/Cobbler search level run
+// allocation-free in steady state. Storage comes from chunks that are
+// kept across Reset, so after the first descent to a given depth the
+// arena never allocates again unless the level's working set grows past
+// its high-water mark. Chunks are never reallocated in place, so slices
+// taken earlier stay valid when the arena advances to a new chunk.
+//
+// Tid (int32) and bitmap-word (uint64) storage live in separate pools;
+// the kernels rely on this to build a converted representation while
+// still reading the original.
+//
+// An Arena is single-goroutine; parallel engines give every worker its
+// own Kernel (and thereby its own arenas).
+type Arena struct {
+	ichunks    [][]int32
+	ici, ipos  int
+	iLastChunk int
+	iLastPos   int
+
+	wchunks    [][]uint64
+	wci, wpos  int
+	wLastChunk int
+	wLastPos   int
+}
+
+// arenaMinChunk is the smallest chunk size (entries); chunks grow
+// geometrically so a level's total storage needs O(log size) chunks.
+const arenaMinChunk = 1024
+
+// Reset makes all storage available again. Previously returned slices
+// become invalid. Chunks are retained for reuse.
+func (a *Arena) Reset() {
+	a.ici, a.ipos = 0, 0
+	a.wci, a.wpos = 0, 0
+}
+
+// takeInts reserves n int32s and returns a zero-length slice with
+// capacity n to append into. The reservation is released or shrunk with
+// dropInts/shrinkInts, which apply to the most recent take only.
+func (a *Arena) takeInts(n int) []int32 {
+	if len(a.ichunks) == 0 || cap(a.ichunks[a.ici])-a.ipos < n {
+		a.advanceInts(n)
+	}
+	c := a.ichunks[a.ici]
+	a.iLastChunk, a.iLastPos = a.ici, a.ipos
+	s := c[a.ipos : a.ipos : a.ipos+n]
+	a.ipos += n
+	return s
+}
+
+// shrinkInts gives back the unused tail of the most recent takeInts: s
+// must be (a prefix-extension of) the slice that take returned.
+func (a *Arena) shrinkInts(s []int32) {
+	a.ici, a.ipos = a.iLastChunk, a.iLastPos+len(s)
+}
+
+// dropInts releases the most recent takeInts reservation entirely.
+func (a *Arena) dropInts() {
+	a.ici, a.ipos = a.iLastChunk, a.iLastPos
+}
+
+// intMark captures the int32 pool position so a kernel can release a
+// whole group of reservations at once (its abort path).
+type intMark struct{ ci, pos int }
+
+func (a *Arena) markInts() intMark { return intMark{a.ici, a.ipos} }
+
+// restoreInts releases every takeInts made since m. Only valid
+// immediately followed by fresh takes (it does not rewind the last-take
+// bookkeeping, so shrinkInts/dropInts of pre-mark takes are off-limits).
+func (a *Arena) restoreInts(m intMark) { a.ici, a.ipos = m.ci, m.pos }
+
+func (a *Arena) advanceInts(n int) {
+	for a.ici+1 < len(a.ichunks) {
+		a.ici++
+		a.ipos = 0
+		if cap(a.ichunks[a.ici]) >= n {
+			return
+		}
+	}
+	size := arenaMinChunk
+	if last := len(a.ichunks); last > 0 {
+		size = 2 * cap(a.ichunks[last-1])
+	}
+	for size < n {
+		size *= 2
+	}
+	a.ichunks = append(a.ichunks, make([]int32, size))
+	a.ici, a.ipos = len(a.ichunks)-1, 0
+}
+
+// takeWords reserves and zeroes n bitmap words, returning a slice of
+// length n. Released with dropWords (most recent take only).
+func (a *Arena) takeWords(n int) []uint64 {
+	if len(a.wchunks) == 0 || cap(a.wchunks[a.wci])-a.wpos < n {
+		a.advanceWords(n)
+	}
+	c := a.wchunks[a.wci]
+	a.wLastChunk, a.wLastPos = a.wci, a.wpos
+	s := c[a.wpos : a.wpos+n : a.wpos+n]
+	a.wpos += n
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// dropWords releases the most recent takeWords reservation entirely.
+func (a *Arena) dropWords() {
+	a.wci, a.wpos = a.wLastChunk, a.wLastPos
+}
+
+func (a *Arena) advanceWords(n int) {
+	for a.wci+1 < len(a.wchunks) {
+		a.wci++
+		a.wpos = 0
+		if cap(a.wchunks[a.wci]) >= n {
+			return
+		}
+	}
+	size := arenaMinChunk
+	if last := len(a.wchunks); last > 0 {
+		size = 2 * cap(a.wchunks[last-1])
+	}
+	for size < n {
+		size *= 2
+	}
+	a.wchunks = append(a.wchunks, make([]uint64, size))
+	a.wci, a.wpos = len(a.wchunks)-1, 0
+}

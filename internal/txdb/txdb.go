@@ -18,7 +18,8 @@
 // nothing, while Eclat-family miners get them exactly once per DB.
 //
 // txdb sits at the bottom of the package DAG: it depends on nothing above
-// internal/itemset (enforced by the repository's import lint).
+// internal/itemset and internal/tidset (enforced by the repository's
+// import lint).
 package txdb
 
 import (
@@ -26,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Source is the read-only transaction-database view every miner and the
@@ -68,6 +70,9 @@ type DB struct {
 
 	vertOnce sync.Once
 	vert     *Vertical // lazy vertical (tid-list) view
+
+	kernOnce sync.Once
+	kern     []tidset.Set // lazy kernel-set view of the vertical lists
 }
 
 // NumItems returns the size of the item universe.

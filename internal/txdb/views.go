@@ -2,6 +2,7 @@ package txdb
 
 import (
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Vertical is the vertical database view: for each item, the ascending
@@ -49,6 +50,32 @@ func (db *DB) Vertical() *Vertical {
 		db.vert = v
 	})
 	return db.vert
+}
+
+// KernelUniverse returns the tidset universe of db: its row count and
+// weights column. Kernel sets and tidset.Kernel instances built from it
+// share db's weight semantics (TidsWeight == Universe.WeightOf).
+func (db *DB) KernelUniverse() tidset.Universe {
+	return tidset.Universe{N: db.NumTx(), W: db.weights}
+}
+
+// KernelSets returns the per-item base tid sets the vertical miners
+// intersect against: the Vertical view's tid lists wrapped as kernel
+// sets, with dense covers promoted to bitmaps once for the whole run.
+// Built lazily on first use and cached; the sets are immutable and
+// shared, and the backing array is stable so Diff results may reference
+// the sets by pointer.
+func (db *DB) KernelSets() []tidset.Set {
+	db.kernOnce.Do(func() {
+		u := db.KernelUniverse()
+		v := db.Vertical()
+		sets := make([]tidset.Set, db.items)
+		for i, tids := range v.Tids {
+			sets[i] = u.Promote(u.FromSorted(tids))
+		}
+		db.kern = sets
+	})
+	return db.kern
 }
 
 // TidsWeight returns the weighted support of a tid list: the total weight

@@ -65,15 +65,19 @@ func TestNoDirectAlgorithmImports(t *testing.T) {
 }
 
 // TestTxdbLayering enforces the columnar store's position at the bottom
-// of the package DAG. Two rules keep the representation truly shared:
+// of the package DAG. Three rules keep the representation truly shared:
 //
-//  1. internal/txdb may import nothing of this module above
-//     internal/itemset — it must stay usable from every layer without
-//     dragging in miners, prep, or I/O.
-//  2. Algorithm packages consume transactions through txdb (or the
+//  1. internal/tidset is a leaf: it may import nothing of this module at
+//     all (it sits next to internal/itemset), so every layer — txdb,
+//     miners, parallel engines — can share one kernel implementation.
+//  2. internal/txdb may import nothing of this module above
+//     internal/itemset and internal/tidset — it must stay usable from
+//     every layer without dragging in miners, prep, or I/O.
+//  3. Algorithm packages consume transactions through txdb (or the
 //     Source interface) only; importing internal/dataset from non-test
 //     code would re-couple miners to the row-oriented I/O layer that the
-//     columnar refactor removed.
+//     columnar refactor removed. They may use tidset directly (shared
+//     kernels are the point), which rule 1 keeps cycle-free.
 func TestTxdbLayering(t *testing.T) {
 	checkImports := func(dir string, allowed func(ip string) bool, hint string) {
 		t.Helper()
@@ -101,9 +105,15 @@ func TestTxdbLayering(t *testing.T) {
 		}
 	}
 
+	checkImports("internal/tidset",
+		func(ip string) bool { return false },
+		"tidset is a leaf package and may not import anything of this module")
+
 	checkImports("internal/txdb",
-		func(ip string) bool { return ip == "repro/internal/itemset" },
-		"txdb sits at the bottom of the DAG and may only use internal/itemset")
+		func(ip string) bool {
+			return ip == "repro/internal/itemset" || ip == "repro/internal/tidset"
+		},
+		"txdb sits at the bottom of the DAG and may only use internal/itemset and internal/tidset")
 
 	for pkg := range algorithmPackages {
 		dir := filepath.Join("internal", filepath.Base(pkg))
